@@ -1,0 +1,25 @@
+"""Shared fixtures for the evaluation benchmarks (DESIGN.md section 5)."""
+
+import pytest
+
+from repro.isa.model import default_model
+
+
+@pytest.fixture(scope="session")
+def model():
+    return default_model()
+
+
+def print_table(title, headers, rows):
+    """Uniform table rendering for the paper-artefact reproductions."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

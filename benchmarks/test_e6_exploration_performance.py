@@ -1,0 +1,87 @@
+"""E6 -- exploration performance (paper section 8).
+
+The paper reports that sequential checking takes minutes and exhaustive
+concurrent checking hours on a single machine, with no optimisation beyond
+the straightforward compilation of the definitions.  This bench measures
+transitions/second and states explored for representative tests, plus the
+effect of the eager-transition closure.
+"""
+
+from conftest import print_table
+
+from repro.litmus.library import by_name
+from repro.litmus.runner import build_system, run_litmus
+from repro.testgen.compare import run_suite
+from repro.testgen.sequential import generate_suite
+
+REPRESENTATIVE = ["MP", "MP+syncs", "SB+syncs", "R", "WRC+sync+addr"]
+
+
+def test_e6_concurrent_exploration_rate(model, benchmark):
+    def explore_family():
+        return {
+            name: run_litmus(by_name(name).parse(), model)
+            for name in REPRESENTATIVE
+        }
+
+    results = benchmark.pedantic(explore_family, rounds=1, iterations=1)
+
+    rows = []
+    total_states = total_transitions = total_seconds = 0.0
+    for name in REPRESENTATIVE:
+        stats = results[name].exploration.stats
+        rate = stats.transitions_taken / stats.seconds if stats.seconds else 0
+        rows.append(
+            (
+                name,
+                stats.states_visited,
+                stats.final_states,
+                stats.transitions_taken,
+                f"{stats.seconds:.2f}s",
+                f"{rate:,.0f}/s",
+            )
+        )
+        total_states += stats.states_visited
+        total_transitions += stats.transitions_taken
+        total_seconds += stats.seconds
+    rows.append(
+        (
+            "TOTAL",
+            int(total_states),
+            "",
+            int(total_transitions),
+            f"{total_seconds:.2f}s",
+            f"{total_transitions / total_seconds:,.0f}/s",
+        )
+    )
+    print_table(
+        "E6: exhaustive exploration performance "
+        "(paper: concurrent checking takes hours at full corpus scale)",
+        ["test", "states", "finals", "transitions", "time", "rate"],
+        rows,
+    )
+    assert total_transitions > 0
+
+
+def test_e6_sequential_rate(model, benchmark):
+    tests = generate_suite(model, per_instruction=2, seed=99)
+
+    report = benchmark(lambda: run_suite(model, tests))
+
+    print(
+        f"\nE6: sequential mode: {report.total} single-instruction tests "
+        f"(paper: full 6984-test run takes minutes)"
+    )
+    assert report.all_passed
+
+
+def test_e6_state_count_scales_with_interleaving(model):
+    """More racing threads => more states: the combinatorial challenge."""
+    small = run_litmus(by_name("CoRR").parse(), model)
+    medium = run_litmus(by_name("MP").parse(), model)
+    large = run_litmus(by_name("SB+syncs").parse(), model)
+    counts = [
+        r.exploration.stats.states_visited for r in (small, medium, large)
+    ]
+    print(f"\nE6: state-count growth CoRR -> MP -> SB+syncs: {counts}")
+    assert counts[0] < counts[1] < counts[2]

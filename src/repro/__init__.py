@@ -1,0 +1,63 @@
+"""An integrated concurrency and core-ISA architectural envelope model,
+and test oracle, for IBM POWER multiprocessors.
+
+Reproduction of Gray, Kerneis, Mulligan, Pulte, Sarkar, Sewell (MICRO 2015).
+
+Quickstart::
+
+    from repro import default_model, parse_litmus, run_litmus
+
+    test = parse_litmus(open("MP+syncs.litmus").read())
+    result = run_litmus(test)
+    print(result.status)          # "Forbidden"
+    for line, hit in result.outcome_table():
+        print(("*" if hit else " "), line)
+
+Packages:
+
+* :mod:`repro.sail` -- the Sail instruction description language: lifted
+  bitvectors, parser, type checker, and the outcome-producing interpreter.
+* :mod:`repro.isa` -- the POWER ISA model: the instruction specifications
+  (encodings + Sail pseudocode), decode/assemble/disassemble, the register
+  model, and a sequential executor.
+* :mod:`repro.concurrency` -- the operational concurrency model: storage
+  subsystem (coherence, propagation, barriers, coherence points) and the
+  per-thread trees of in-flight instructions; the exhaustive explorer.
+* :mod:`repro.litmus` -- litmus-test parser, built-in corpus, and runner.
+* :mod:`repro.elf` -- ELF64BE reader/writer/loader front-end.
+* :mod:`repro.golden` -- an independent direct emulator standing in for
+  POWER hardware in the differential validation of section 7.
+* :mod:`repro.testgen` -- automatic sequential test generation and the
+  model-vs-golden differential comparison harness.
+"""
+
+from .isa.model import DecodedInstruction, IsaModel, default_model
+from .isa.assembler import Assembler
+from .isa.sequential import SequentialMachine
+from .litmus.parser import parse_litmus
+from .litmus.runner import LitmusResult, build_system, run_litmus
+from .litmus.library import corpus as litmus_corpus
+from .concurrency.exhaustive import ExplorationResult, explore
+from .concurrency.params import ModelParams
+from .concurrency.system import SystemState
+from .sail.values import Bits
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assembler",
+    "Bits",
+    "DecodedInstruction",
+    "ExplorationResult",
+    "IsaModel",
+    "LitmusResult",
+    "ModelParams",
+    "SequentialMachine",
+    "SystemState",
+    "build_system",
+    "default_model",
+    "explore",
+    "litmus_corpus",
+    "parse_litmus",
+    "run_litmus",
+]

@@ -1,0 +1,28 @@
+"""The operational concurrency model (sections 2 and 5 of the paper)."""
+
+from .events import BarrierEvent, BarrierId, Write, WriteId
+from .exhaustive import ExplorationLimit, ExplorationResult, explore, run_one
+from .params import DEFAULT_PARAMS, ModelParams
+from .storage import CoherenceViolation, StorageSubsystem
+from .system import SystemState, Transition
+from .thread import InstructionInstance, ModelError, ThreadState
+
+__all__ = [
+    "BarrierEvent",
+    "BarrierId",
+    "CoherenceViolation",
+    "DEFAULT_PARAMS",
+    "ExplorationLimit",
+    "ExplorationResult",
+    "InstructionInstance",
+    "ModelError",
+    "ModelParams",
+    "StorageSubsystem",
+    "SystemState",
+    "ThreadState",
+    "Transition",
+    "Write",
+    "WriteId",
+    "explore",
+    "run_one",
+]

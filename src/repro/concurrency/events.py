@@ -1,0 +1,95 @@
+"""Memory events exchanged between threads and the storage subsystem.
+
+Write and barrier identifiers are derived from (thread, instruction, index)
+so that identical logical states reached along different interleavings get
+identical identifiers -- the exhaustive explorer's memoisation depends on
+this determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..sail.values import Bits
+
+#: Thread id used for the initial-state writes.
+INITIAL_TID = -1
+
+
+@dataclass(frozen=True, order=True)
+class WriteId:
+    tid: int
+    ioid: Tuple[int, int]  # (tid, index) instruction id; (-1, n) for initial
+    index: int  # unit index within the instruction's write
+
+
+@dataclass(frozen=True)
+class Write:
+    """One architecturally atomic unit of a memory write."""
+
+    wid: WriteId
+    addr: int
+    size: int
+    value: Bits  # 8*size bits
+    is_conditional: bool = False  # produced by a store-conditional
+
+    @property
+    def tid(self) -> int:
+        return self.wid.tid
+
+    def overlaps(self, addr: int, size: int) -> bool:
+        return self.addr < addr + size and addr < self.addr + self.size
+
+    def overlaps_write(self, other: "Write") -> bool:
+        return self.overlaps(other.addr, other.size)
+
+    def covers(self, addr: int, size: int) -> bool:
+        return self.addr <= addr and addr + size <= self.addr + self.size
+
+    def byte(self, addr: int) -> Bits:
+        """The written byte at absolute address ``addr``."""
+        offset = addr - self.addr
+        if not 0 <= offset < self.size:
+            raise ValueError(f"address {addr:#x} outside write {self}")
+        return self.value.slice(8 * offset, 8 * offset + 7)
+
+    def extract(self, addr: int, size: int) -> Bits:
+        offset = addr - self.addr
+        return self.value.slice(8 * offset, 8 * (offset + size) - 1)
+
+    def __str__(self) -> str:
+        value = (
+            f"0x{self.value.to_int():0{2 * self.size}x}"
+            if self.value.is_known
+            else self.value.to_bitstring()
+        )
+        return f"W 0x{self.addr:016x}/{self.size}={value}"
+
+
+@dataclass(frozen=True, order=True)
+class BarrierId:
+    tid: int
+    ioid: Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class BarrierEvent:
+    """A sync/lwsync/eieio barrier committed to the storage subsystem."""
+
+    bid: BarrierId
+    kind: str  # "sync" | "lwsync" | "eieio"
+
+    @property
+    def tid(self) -> int:
+        return self.bid.tid
+
+    def __str__(self) -> str:
+        return f"B({self.kind}) t{self.tid}"
+
+
+def initial_write(index: int, addr: int, size: int, value: Bits) -> Write:
+    """A write representing the initial contents of a memory location."""
+    return Write(
+        WriteId(INITIAL_TID, (INITIAL_TID, index), 0), addr, size, value
+    )

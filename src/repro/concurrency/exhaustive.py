@@ -1,0 +1,205 @@
+"""Exhaustive exploration: compute the set of all allowed executions.
+
+This is the test-oracle mode of section 6: a memoised depth-first search
+over the system-state transition graph.  Final states are summarised as
+*outcomes* -- per-thread final register values plus possible final memory
+values (one outcome per linearisation of residual coherence freedom).
+
+The search is exact, not a sampling: with the eager-transition closure the
+branching transitions are exactly the observable ordering choices, so the
+collected outcome set is the architectural envelope for the test.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..sail.values import Bits
+from .system import SystemState, Transition
+from .thread import ModelError
+
+#: An outcome: ((tid, reg, value-int-or-None) ...) + ((addr,size,value) ...).
+Outcome = Tuple[Tuple, Tuple]
+
+
+class ExplorationLimit(Exception):
+    """The state budget was exhausted before the search completed."""
+
+
+@dataclass
+class ExplorationStats:
+    states_visited: int = 0
+    transitions_taken: int = 0
+    final_states: int = 0
+    deadlocks: int = 0
+    max_frontier: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class ExplorationResult:
+    outcomes: Set[Outcome]
+    stats: ExplorationStats
+    deadlock_states: List[SystemState] = field(default_factory=list)
+
+    def register_outcomes(self) -> Set[Tuple]:
+        """Just the register parts of the outcomes."""
+        return {registers for registers, _memory in self.outcomes}
+
+
+def _registers_of_interest(system: SystemState) -> List[Tuple[int, str]]:
+    names: List[Tuple[int, str]] = []
+    for tid, thread in sorted(system.threads.items()):
+        seen = set(thread.initial_registers)
+        for instance in thread.instances.values():
+            for record in instance.reg_writes:
+                seen.add(record.slice.reg)
+            for out in instance.static_fp.regs_out:
+                seen.add(out.reg)
+        for name in sorted(seen):
+            names.append((tid, name))
+    return names
+
+
+def _outcome_of(
+    system: SystemState, memory_cells: Iterable[Tuple[int, int]]
+) -> List[Outcome]:
+    registers = []
+    for tid, name in _registers_of_interest(system):
+        value = system.threads[tid].final_register_value(system.model, name)
+        registers.append(
+            (tid, name, value.to_int() if value.is_known else None)
+        )
+    register_part = tuple(registers)
+    cells = list(memory_cells)
+    if not cells:
+        return [(register_part, ())]
+    outcomes = []
+    for memory in system.final_memory(cells):
+        memory_part = tuple(
+            (addr, size, memory[(addr, size)]) for addr, size in cells
+        )
+        outcomes.append((register_part, memory_part))
+    return outcomes
+
+
+def explore(
+    initial: SystemState,
+    memory_cells: Iterable[Tuple[int, int]] = (),
+    max_states: Optional[int] = None,
+    collect_deadlocks: bool = False,
+) -> ExplorationResult:
+    """Exhaustively enumerate all reachable final states.
+
+    ``memory_cells`` lists (addr, size) memory locations whose final values
+    the caller cares about (from the litmus test's final condition).
+    """
+    limit = max_states if max_states is not None else initial.params.max_states
+    cells = tuple(memory_cells)
+    stats = ExplorationStats()
+    outcomes: Set[Outcome] = set()
+    deadlocks: List[SystemState] = []
+    started = time.perf_counter()
+
+    stack: List[SystemState] = [initial]
+    seen: Set = {initial.key()}
+    while stack:
+        stats.max_frontier = max(stats.max_frontier, len(stack))
+        state = stack.pop()
+        stats.states_visited += 1
+        if stats.states_visited > limit:
+            raise ExplorationLimit(
+                f"exceeded {limit} states; increase params.max_states"
+            )
+        if state.is_final():
+            # Residual propagate/ack transitions only add coherence edges;
+            # the final-memory enumeration over linear extensions of the
+            # current partial order already covers every continuation.
+            stats.final_states += 1
+            outcomes.update(_outcome_of(state, cells))
+            continue
+        transitions = state.enumerate_transitions()
+        if not transitions:
+            if state.threads_finished():
+                # Threads complete but some write cannot reach its coherence
+                # point (a barrier-induced cycle): a dead path representing
+                # coherence choices no hardware execution can realise.
+                stats.deadlocks += 1
+                if collect_deadlocks:
+                    deadlocks.append(state)
+                continue
+            raise ModelError(
+                "deadlock: no transitions from a non-final state\n"
+                + state.render()
+            )
+        for transition in transitions:
+            successor = state.apply(transition)
+            stats.transitions_taken += 1
+            key = successor.key()
+            if key not in seen:
+                seen.add(key)
+                stack.append(successor)
+
+    stats.seconds = time.perf_counter() - started
+    return ExplorationResult(outcomes, stats, deadlocks)
+
+
+def find_witness(
+    initial: SystemState,
+    predicate,
+    memory_cells: Iterable[Tuple[int, int]] = (),
+    max_states: Optional[int] = None,
+):
+    """Search for one execution whose outcome satisfies ``predicate``.
+
+    Returns (transition_list, final_state) for the first witnessing
+    execution found, or None if the predicate is unsatisfiable.  The
+    transition list is the abstract-machine trace behind the outcome --
+    the executable counterpart of the paper's execution diagrams.
+    """
+    limit = max_states if max_states is not None else initial.params.max_states
+    cells = tuple(memory_cells)
+    stack: List[Tuple[SystemState, Tuple[Transition, ...]]] = [(initial, ())]
+    seen = {initial.key()}
+    visited = 0
+    while stack:
+        state, path = stack.pop()
+        visited += 1
+        if visited > limit:
+            raise ExplorationLimit(f"exceeded {limit} states in witness search")
+        if state.is_final():
+            for outcome in _outcome_of(state, cells):
+                if predicate(outcome):
+                    return list(path), state
+            continue
+        for transition in state.enumerate_transitions():
+            successor = state.apply(transition)
+            key = successor.key()
+            if key not in seen:
+                seen.add(key)
+                stack.append((successor, path + (transition,)))
+    return None
+
+
+def run_one(initial: SystemState, choose=None, max_steps: int = 100000):
+    """Run a single (pseudo-random or guided) execution to completion.
+
+    ``choose(state, transitions)`` picks one transition; the default takes
+    the first.  Used by the interactive front-end and the emulator mode.
+    """
+    state = initial
+    for _ in range(max_steps):
+        if state.is_final():
+            return state
+        transitions = state.enumerate_transitions()
+        if not transitions:
+            raise ModelError(
+                "deadlock in single execution\n" + state.render()
+            )
+        transition = transitions[0] if choose is None else choose(
+            state, transitions
+        )
+        state = state.apply(transition)
+    raise ModelError("execution did not terminate within the step budget")

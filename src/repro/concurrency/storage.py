@@ -1,0 +1,542 @@
+"""The storage subsystem of the concurrency model (section 5).
+
+This is the paper's
+
+    type storage_subsystem_state = <|
+      threads: set thread_id;
+      writes_seen: set write;
+      coherence: rel write write;
+      events_propagated_to: thread_id -> list event;
+      unacknowledged_sync_requests: set barrier; |>
+
+extended for mixed-size accesses: coherence relates *overlapping* writes with
+distinct footprints, and read responses are assembled per byte from the most
+recent covering write in the reader's propagation list.
+
+It abstracts from cache protocol and storage hierarchy: a coherence
+commitment here corresponds to, e.g., one write winning a race for cache-line
+ownership in an implementation.  Coherence edges are established when writes
+are accepted and when propagation forces an ordering; the residual freedom
+(writes never co-propagated) is enumerated when final memory values are
+evaluated (see ``final_memory_values``).
+
+Store-conditional success additionally records an *atomicity constraint*: no
+other write may ever be coherence-ordered between the write read by the
+load-reserve and the conditional write (section 5's treatment of the
+load-reserve/store-conditional primitives).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..sail.values import Bits
+from .events import INITIAL_TID, BarrierEvent, BarrierId, Write, WriteId
+
+#: An entry of a propagation list: ("w", WriteId) or ("b", BarrierId).
+Event = Tuple[str, object]
+
+
+class CoherenceViolation(Exception):
+    """A transition would create a coherence cycle or break an atomic pair."""
+
+
+class StorageSubsystem:
+    """Mutable storage-subsystem state with explicit transition methods.
+
+    The explorer clones the state before applying branching transitions;
+    ``clone`` and ``key`` are therefore part of the core interface.
+    """
+
+    def __init__(self, threads: Iterable[int]):
+        self.threads: Tuple[int, ...] = tuple(threads)
+        self.writes_seen: Dict[WriteId, Write] = {}
+        #: coherence successors: wid -> set of wids coherence-after it
+        #: (kept transitively closed).
+        self.coherence_after: Dict[WriteId, Set[WriteId]] = {}
+        self.events_propagated_to: Dict[int, List[Event]] = {
+            tid: [] for tid in self.threads
+        }
+        self.barriers_seen: Dict[BarrierId, BarrierEvent] = {}
+        self.unacknowledged_syncs: Set[BarrierId] = set()
+        self.acknowledged_syncs: Set[BarrierId] = set()
+        #: (w_read, w_conditional) pairs that must stay coherence-adjacent.
+        self.atomic_pairs: Set[Tuple[WriteId, WriteId]] = set()
+        #: Writes past their coherence point (initial writes start there).
+        #: Coherence points give barriers their write-write cumulative force
+        #: (e.g. forbidding 2+2W+lwsyncs): a write separated from earlier
+        #: writes by a barrier in some propagation list cannot reach its
+        #: coherence point before they do.
+        self.coherence_points: Set[WriteId] = set()
+
+    # ------------------------------------------------------------------
+    # Cloning and memoisation keys
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "StorageSubsystem":
+        other = StorageSubsystem(self.threads)
+        other.writes_seen = dict(self.writes_seen)
+        other.coherence_after = {
+            wid: set(succ) for wid, succ in self.coherence_after.items()
+        }
+        other.events_propagated_to = {
+            tid: list(events) for tid, events in self.events_propagated_to.items()
+        }
+        other.barriers_seen = dict(self.barriers_seen)
+        other.unacknowledged_syncs = set(self.unacknowledged_syncs)
+        other.acknowledged_syncs = set(self.acknowledged_syncs)
+        other.atomic_pairs = set(self.atomic_pairs)
+        other.coherence_points = set(self.coherence_points)
+        return other
+
+    def key(self):
+        return (
+            tuple(sorted(self.writes_seen)),
+            tuple(
+                (wid, tuple(sorted(succ)))
+                for wid, succ in sorted(self.coherence_after.items())
+                if succ
+            ),
+            tuple(
+                (tid, tuple(events))
+                for tid, events in sorted(self.events_propagated_to.items())
+            ),
+            tuple(sorted(self.unacknowledged_syncs)),
+            tuple(sorted(self.acknowledged_syncs)),
+            tuple(sorted(self.atomic_pairs)),
+            tuple(sorted(self.coherence_points)),
+        )
+
+    # ------------------------------------------------------------------
+    # Coherence bookkeeping
+    # ------------------------------------------------------------------
+
+    def coherence_before(self, first: WriteId, second: WriteId) -> bool:
+        return second in self.coherence_after.get(first, ())
+
+    def _would_cycle(self, first: WriteId, second: WriteId) -> bool:
+        return first == second or self.coherence_before(second, first)
+
+    def _breaks_atomic_pair(self, first: WriteId, second: WriteId) -> bool:
+        """Would adding first < second wedge a write into an atomic pair?
+
+        For each recorded pair (r, c) -- meaning no write may satisfy
+        r < w < c -- reject any new edge that would complete such a
+        sandwiching for some existing write.
+        """
+        for read_wid, cond_wid in self.atomic_pairs:
+            for wid in self.writes_seen:
+                if wid in (read_wid, cond_wid):
+                    continue
+                if not self.writes_seen[wid].overlaps_write(
+                    self.writes_seen[cond_wid]
+                ):
+                    continue
+                after_read = self.coherence_before(read_wid, wid) or (
+                    first == read_wid and second == wid
+                )
+                before_cond = self.coherence_before(wid, cond_wid) or (
+                    first == wid and second == cond_wid
+                )
+                if after_read and before_cond:
+                    return True
+        return False
+
+    def add_coherence(self, first: WriteId, second: WriteId) -> None:
+        """Commit ``first`` coherence-before ``second`` (with closure)."""
+        if self.coherence_before(first, second):
+            return
+        if self._would_cycle(first, second):
+            raise CoherenceViolation(f"coherence cycle: {first} <-> {second}")
+        if self._breaks_atomic_pair(first, second):
+            raise CoherenceViolation("edge violates store-conditional atomicity")
+        befores = [
+            wid for wid, succ in self.coherence_after.items() if first in succ
+        ] + [first]
+        afters = list(self.coherence_after.get(second, ())) + [second]
+        for before in befores:
+            successors = self.coherence_after.setdefault(before, set())
+            successors.update(afters)
+
+    def can_add_coherence(self, first: WriteId, second: WriteId) -> bool:
+        if self.coherence_before(first, second):
+            return True
+        return not (
+            self._would_cycle(first, second)
+            or self._breaks_atomic_pair(first, second)
+        )
+
+    # ------------------------------------------------------------------
+    # Propagation-list helpers
+    # ------------------------------------------------------------------
+
+    def writes_propagated_to(self, tid: int) -> List[Write]:
+        return [
+            self.writes_seen[payload]
+            for kind, payload in self.events_propagated_to[tid]
+            if kind == "w"
+        ]
+
+    def is_propagated_to(self, event: Event, tid: int) -> bool:
+        return event in self.events_propagated_to[tid]
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+
+    def accept_write(self, write: Write) -> None:
+        """Accept a write request from its thread (thread-side store commit)."""
+        if write.wid in self.writes_seen:
+            raise ValueError(f"duplicate write {write.wid}")
+        self.writes_seen[write.wid] = write
+        for prior in self.writes_propagated_to(write.tid):
+            if prior.overlaps_write(write):
+                self.add_coherence(prior.wid, write.wid)
+        self.events_propagated_to[write.tid].append(("w", write.wid))
+
+    def accept_initial_writes(self, writes: Iterable[Write]) -> None:
+        """Install the initial memory state, propagated to every thread."""
+        for write in writes:
+            self.writes_seen[write.wid] = write
+            self.coherence_points.add(write.wid)
+            for tid in self.threads:
+                self.events_propagated_to[tid].append(("w", write.wid))
+
+    def accept_barrier(self, barrier: BarrierEvent) -> None:
+        self.barriers_seen[barrier.bid] = barrier
+        self.events_propagated_to[barrier.tid].append(("b", barrier.bid))
+        if barrier.kind == "sync":
+            self.unacknowledged_syncs.add(barrier.bid)
+
+    # -- propagate write -------------------------------------------------
+
+    def _barriers_before_event_in_origin(self, event: Event) -> List[Event]:
+        """Barrier events preceding ``event`` in its origin thread's list."""
+        kind, payload = event
+        tid = payload.tid
+        result = []
+        for entry in self.events_propagated_to[tid]:
+            if entry == event:
+                break
+            if entry[0] == "b":
+                result.append(entry)
+        return result
+
+    def can_propagate_write(self, wid: WriteId, target: int) -> bool:
+        write = self.writes_seen.get(wid)
+        if write is None or write.tid == target:
+            return False
+        event = ("w", wid)
+        if event in self.events_propagated_to[target]:
+            return False
+        if event not in self.events_propagated_to[write.tid]:
+            return False
+        # Group-A / cumulativity condition: every barrier that precedes the
+        # write in its origin thread's list must already be at the target.
+        for barrier_event in self._barriers_before_event_in_origin(event):
+            if barrier_event not in self.events_propagated_to[target]:
+                return False
+        # Coherence: the write must be placeable after every overlapping
+        # write already propagated to the target.
+        for prior in self.writes_propagated_to(target):
+            if prior.wid != wid and prior.overlaps_write(write):
+                if not self.can_add_coherence(prior.wid, wid):
+                    return False
+        return True
+
+    def propagate_write(self, wid: WriteId, target: int) -> None:
+        if not self.can_propagate_write(wid, target):
+            raise CoherenceViolation(f"cannot propagate {wid} to thread {target}")
+        write = self.writes_seen[wid]
+        for prior in self.writes_propagated_to(target):
+            if prior.wid != wid and prior.overlaps_write(write):
+                self.add_coherence(prior.wid, wid)
+        self.events_propagated_to[target].append(("w", wid))
+
+    # -- propagate barrier -------------------------------------------------
+
+    def write_effectively_propagated(self, wid: WriteId, target: int) -> bool:
+        """Is ``wid`` visible at ``target``, possibly as a superseded version?
+
+        A write that is coherence-before a write already propagated to the
+        target (covering all its bytes) can never itself propagate there --
+        the target already holds a newer version of the data -- so barrier
+        Group-A conditions must count it as done.  Without this rule, tests
+        like 2+2W+syncs would wedge: the old write can neither propagate
+        (coherence cycle) nor be waived (sync never acknowledges).
+        """
+        if ("w", wid) in self.events_propagated_to[target]:
+            return True
+        write = self.writes_seen[wid]
+        for offset in range(write.size):
+            addr = write.addr + offset
+            covered = any(
+                other.overlaps(addr, 1)
+                and self.coherence_before(wid, other.wid)
+                for other in self.writes_propagated_to(target)
+            )
+            if not covered:
+                return False
+        return True
+
+    def can_propagate_barrier(self, bid: BarrierId, target: int) -> bool:
+        barrier = self.barriers_seen.get(bid)
+        if barrier is None or barrier.tid == target:
+            return False
+        event = ("b", bid)
+        if event in self.events_propagated_to[target]:
+            return False
+        # All of the barrier's Group A (events before it in its origin
+        # thread's list) must already have reached the target; superseded
+        # writes count as effectively there.
+        for entry in self.events_propagated_to[barrier.tid]:
+            if entry == event:
+                break
+            if entry[0] == "w":
+                if not self.write_effectively_propagated(entry[1], target):
+                    return False
+            elif entry not in self.events_propagated_to[target]:
+                return False
+        return True
+
+    def propagate_barrier(self, bid: BarrierId, target: int) -> None:
+        if not self.can_propagate_barrier(bid, target):
+            raise CoherenceViolation(f"cannot propagate {bid} to thread {target}")
+        self.events_propagated_to[target].append(("b", bid))
+
+    # -- coherence points ----------------------------------------------------
+
+    def _cp_blockers(self, wid: WriteId) -> List[WriteId]:
+        """Writes that must reach their coherence point before ``wid`` can.
+
+        In every propagation list containing ``wid``: (a) earlier overlapping
+        writes; (b) any write separated from ``wid`` by a barrier (this is
+        the barriers' write-write cumulative force -- sync, lwsync and eieio
+        all order coherence points of the writes around them).
+        """
+        write = self.writes_seen[wid]
+        blockers: Set[WriteId] = set()
+        event = ("w", wid)
+        for tid in self.threads:
+            events = self.events_propagated_to[tid]
+            if event not in events:
+                continue
+            position = events.index(event)
+            last_barrier_index = -1
+            for i in range(position - 1, -1, -1):
+                if events[i][0] == "b":
+                    last_barrier_index = i
+                    break
+            for i in range(position):
+                kind, payload = events[i]
+                if kind != "w":
+                    continue
+                other = self.writes_seen[payload]
+                if other.overlaps_write(write) and payload != wid:
+                    blockers.add(payload)
+                elif i < last_barrier_index:
+                    blockers.add(payload)
+        return [b for b in blockers if b not in self.coherence_points]
+
+    def can_reach_coherence_point(self, wid: WriteId) -> bool:
+        if wid in self.coherence_points or wid not in self.writes_seen:
+            return False
+        if self._cp_blockers(wid):
+            return False
+        # The coherence edges this step commits must be consistent.
+        write = self.writes_seen[wid]
+        for other_wid, other in self.writes_seen.items():
+            if other_wid == wid or not other.overlaps_write(write):
+                continue
+            if other_wid in self.coherence_points:
+                if not self.can_add_coherence(other_wid, wid):
+                    return False
+            else:
+                if not self.can_add_coherence(wid, other_wid):
+                    return False
+        return True
+
+    def reach_coherence_point(self, wid: WriteId) -> None:
+        """Commit ``wid``'s coherence position (the PLDI12-style transition).
+
+        The write becomes coherence-after every overlapping write already
+        past its coherence point, and coherence-before every overlapping
+        write that has not reached it yet.
+        """
+        if not self.can_reach_coherence_point(wid):
+            raise CoherenceViolation(f"{wid} cannot reach its coherence point")
+        write = self.writes_seen[wid]
+        for other_wid, other in self.writes_seen.items():
+            if other_wid == wid or not other.overlaps_write(write):
+                continue
+            if other_wid in self.coherence_points:
+                self.add_coherence(other_wid, wid)
+            else:
+                self.add_coherence(wid, other_wid)
+        self.coherence_points.add(wid)
+
+    def all_writes_past_coherence_point(self) -> bool:
+        return all(wid in self.coherence_points for wid in self.writes_seen)
+
+    # -- sync acknowledgement ----------------------------------------------
+
+    def can_acknowledge_sync(self, bid: BarrierId) -> bool:
+        if bid not in self.unacknowledged_syncs:
+            return False
+        event = ("b", bid)
+        return all(
+            event in self.events_propagated_to[tid]
+            for tid in self.threads
+        )
+
+    def acknowledge_sync(self, bid: BarrierId) -> None:
+        if not self.can_acknowledge_sync(bid):
+            raise CoherenceViolation(f"cannot acknowledge {bid}")
+        self.unacknowledged_syncs.discard(bid)
+        self.acknowledged_syncs.add(bid)
+
+    # -- read responses -----------------------------------------------------
+
+    def read_response(
+        self, tid: int, addr: int, size: int
+    ) -> Tuple[Bits, Tuple[Tuple[WriteId, int, int], ...]]:
+        """Assemble a read response per byte from the propagation list.
+
+        Returns the value plus the per-byte-run provenance: tuples of
+        (write id, first byte offset within the read, length).
+        """
+        propagated = self.writes_propagated_to(tid)
+        byte_sources: List[Optional[Write]] = [None] * size
+        for write in propagated:  # list order; later entries win
+            for i in range(size):
+                if write.overlaps(addr + i, 1):
+                    byte_sources[i] = write
+        if any(source is None for source in byte_sources):
+            missing = [hex(addr + i) for i, s in enumerate(byte_sources) if s is None]
+            raise CoherenceViolation(
+                f"read of uninitialised memory at {missing} by thread {tid}"
+            )
+        value = Bits(0)
+        provenance: List[Tuple[WriteId, int, int]] = []
+        for i, source in enumerate(byte_sources):
+            value = value.concat(source.byte(addr + i))
+            if provenance and provenance[-1][0] == source.wid and (
+                provenance[-1][1] + provenance[-1][2] == i
+            ):
+                wid, start, length = provenance[-1]
+                provenance[-1] = (wid, start, length + 1)
+            else:
+                provenance.append((source.wid, i, 1))
+        return value, tuple(provenance)
+
+    # ------------------------------------------------------------------
+    # Final memory values
+    # ------------------------------------------------------------------
+
+    def final_memory_values(self, addresses: Iterable[Tuple[int, int]]):
+        """Enumerate possible final values for the given (addr, size) cells.
+
+        Writes never co-propagated may be coherence-unrelated at the end of
+        an execution; each linear extension of the established coherence
+        order yields one possible final memory state.  Returns a list of
+        dicts mapping (addr, size) -> int.
+        """
+        cells = list(addresses)
+        relevant: List[Write] = [
+            w
+            for w in self.writes_seen.values()
+            if any(w.overlaps(addr, size) for addr, size in cells)
+        ]
+        results = []
+        seen_results = set()
+        # Bounded enumeration: litmus tests have a handful of writes per cell.
+        for order in permutations(sorted(relevant, key=lambda w: w.wid)):
+            if not self._order_consistent(order):
+                continue
+            memory: Dict[int, Bits] = {}
+            for write in order:
+                for i in range(write.size):
+                    memory[write.addr + i] = write.byte(write.addr + i)
+            state = {}
+            for addr, size in cells:
+                value = Bits(0)
+                for i in range(size):
+                    value = value.concat(memory.get(addr + i, Bits.zeros(8)))
+                state[(addr, size)] = value.to_int() if value.is_known else None
+            frozen = tuple(sorted(state.items()))
+            if frozen not in seen_results:
+                seen_results.add(frozen)
+                results.append(state)
+        return results
+
+    def _order_consistent(self, order: Tuple[Write, ...]) -> bool:
+        position = {w.wid: i for i, w in enumerate(order)}
+        for wid, successors in self.coherence_after.items():
+            if wid not in position:
+                continue
+            for succ in successors:
+                if succ in position and position[succ] < position[wid]:
+                    return False
+        # Store-conditional atomicity: nothing may sit between the write the
+        # load-reserve read and the conditional write in coherence order.
+        for read_wid, cond_wid in self.atomic_pairs:
+            if cond_wid not in position:
+                continue
+            upper = position[cond_wid]
+            lower = position.get(read_wid, -1)
+            cond_write = self.writes_seen[cond_wid]
+            for write in order[lower + 1 : upper]:
+                if write.wid != read_wid and write.overlaps_write(cond_write):
+                    return False
+        # Initial writes are coherence-before everything overlapping.
+        for write in order:
+            if write.tid == INITIAL_TID:
+                for other in order:
+                    if (
+                        other.tid != INITIAL_TID
+                        and other.overlaps_write(write)
+                        and position[other.wid] < position[write.wid]
+                    ):
+                        return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Rendering (Fig. 3-style state display)
+    # ------------------------------------------------------------------
+
+    def render(self, symbol_of=None) -> str:
+        def name(addr: int) -> str:
+            if symbol_of is None:
+                return ""
+            symbol = symbol_of(addr)
+            return f"({symbol})" if symbol else ""
+
+        lines = ["Storage subsystem state:"]
+        shown = ", ".join(
+            f"{w}{name(w.addr)}" for w in sorted(
+                self.writes_seen.values(), key=lambda w: w.wid
+            )
+        )
+        lines.append(f"  writes seen = {{ {shown} }}")
+        edges = []
+        for wid, succs in sorted(self.coherence_after.items()):
+            for succ in sorted(succs):
+                edges.append(f"{wid} -> {succ}")
+        lines.append("  coherence = { " + ", ".join(edges) + " }")
+        lines.append("  events propagated to:")
+        for tid in self.threads:
+            events = ", ".join(
+                str(self.writes_seen[p]) + name(self.writes_seen[p].addr)
+                if k == "w"
+                else str(self.barriers_seen[p])
+                for k, p in self.events_propagated_to[tid]
+            )
+            lines.append(f"    Thread {tid}: [ {events} ]")
+        lines.append(
+            "  unacknowledged sync requests = "
+            + "{ "
+            + ", ".join(str(b) for b in sorted(self.unacknowledged_syncs))
+            + " }"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,1065 @@
+"""The whole-system state and its transitions.
+
+This is the paper's
+
+    type system_state = <|
+      program_memory: address -> fetch_decode_outcome;
+      initial_writes: list write;
+      interp_context: Interp_interface.context;
+      thread_states: map thread_id thread_state;
+      storage_subsystem: storage_subsystem_state; ... |>
+
+with
+
+    val enumerate_transitions_of_system : system_state -> list trans
+    val system_state_after_transition : system_state -> trans -> system_state
+
+Deterministic, thread-local transitions (internal Sail steps, resolvable
+register reads, unique-successor fetch, restart-free instruction finish) are
+taken *eagerly*; only observably racy choices -- memory-read satisfaction,
+store/barrier commitment, store-conditional resolution, propagation, sync
+acknowledgement -- are enumerated as explicit transitions.  This is the
+standard ppcmem-family optimisation; the ``eager=False`` parameter exposes
+the unoptimised transition system for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..isa.model import IsaModel
+from ..sail.interp import resume
+from ..sail.outcomes import (
+    Barrier as BarrierOutcome,
+    Done as DoneOutcome,
+    Internal,
+    ReadMem,
+    ReadReg,
+    WriteMem,
+    WriteReg,
+)
+from ..sail.values import Bits, FALSE, TRUE
+from .events import BarrierEvent, BarrierId, Write, WriteId, initial_write
+from .params import DEFAULT_PARAMS, ModelParams
+from .storage import StorageSubsystem
+from .thread import (
+    InstructionInstance,
+    Ioid,
+    MemReadRecord,
+    MOS_BLOCKED_REG,
+    MOS_DONE,
+    MOS_PENDING_READ,
+    MOS_PENDING_SC,
+    MOS_PLAIN,
+    ModelError,
+    RegReadRecord,
+    RegWriteRecord,
+    ThreadState,
+)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One enabled transition of the whole system."""
+
+    kind: str
+    tid: Optional[int] = None
+    ioid: Optional[Ioid] = None
+    detail: tuple = ()
+    label: str = ""
+
+    def __str__(self) -> str:
+        return self.label or self.kind
+
+
+class SystemState:
+    """Mutable system state; cloned by the explorer before each transition."""
+
+    def __init__(
+        self,
+        model: IsaModel,
+        program_memory: Dict[int, int],
+        thread_entries: Dict[int, int],
+        initial_registers: Dict[int, Dict[str, Bits]],
+        initial_memory: Iterable[Tuple[int, int, Bits]],
+        params: ModelParams = DEFAULT_PARAMS,
+        symbols: Optional[Dict[int, str]] = None,
+    ):
+        """Build the initial state.
+
+        ``program_memory`` maps word-aligned addresses to 32-bit opcodes;
+        ``thread_entries`` maps thread ids to entry points;
+        ``initial_registers`` gives each thread's initial register values;
+        ``initial_memory`` lists (addr, size, value) initial-state writes.
+        """
+        self.model = model
+        self.params = params
+        self.program_memory = dict(program_memory)
+        self.symbols = dict(symbols or {})
+        self.threads: Dict[int, ThreadState] = {}
+        self.storage = StorageSubsystem(sorted(thread_entries))
+        writes = [
+            initial_write(index, addr, size, value)
+            for index, (addr, size, value) in enumerate(initial_memory)
+        ]
+        self.storage.accept_initial_writes(writes)
+        for tid, entry in sorted(thread_entries.items()):
+            thread = ThreadState(tid, initial_registers.get(tid, {}))
+            thread.initial_fetch_address = entry
+            self.threads[tid] = thread
+        if params.eager:
+            self.eager_closure()
+
+    # ------------------------------------------------------------------
+    # Cloning / keys
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "SystemState":
+        other = SystemState.__new__(SystemState)
+        other.model = self.model
+        other.params = self.params
+        other.program_memory = self.program_memory  # immutable use
+        other.symbols = self.symbols
+        other.threads = {tid: t.clone() for tid, t in self.threads.items()}
+        other.storage = self.storage.clone()
+        return other
+
+    def key(self):
+        return (
+            tuple(t.key() for _, t in sorted(self.threads.items())),
+            self.storage.key(),
+        )
+
+    # ------------------------------------------------------------------
+    # Fetch
+    # ------------------------------------------------------------------
+
+    def _fetch_candidates(self, thread: ThreadState, instance) -> List[int]:
+        """Possible next fetch addresses of an instance."""
+        fp = instance.static_fp
+        candidates: Set[int] = set()
+        if instance.nia is not None:
+            candidates.add(instance.nia)
+        else:
+            candidates.update(fp.nias)
+            if fp.nia_fallthrough:
+                candidates.add(instance.address + 4)
+            # Indirect targets wait until the instance resolves its NIA.
+        return sorted(
+            addr for addr in candidates if addr in self.program_memory
+        )
+
+    def _fetch_one(self, thread: ThreadState, instance, address: int) -> bool:
+        if address in instance.children:
+            return False
+        if len(thread.instances) >= self.params.max_instances_per_thread:
+            raise ModelError(
+                f"thread {thread.tid} exceeded the instance cap "
+                f"({self.params.max_instances_per_thread}); "
+                "an unresolved loop or runaway speculation"
+            )
+        word = self.program_memory[address]
+        instruction = self.model.decode(word)
+        if instruction is None:
+            raise ModelError(f"cannot decode 0x{word:08x} at 0x{address:x}")
+        thread.new_instance(self.model, address, instruction, instance.ioid)
+        return True
+
+    def _fetch_root(self, thread: ThreadState) -> bool:
+        if thread.root is not None:
+            return False
+        address = thread.initial_fetch_address
+        if address is None or address not in self.program_memory:
+            return False
+        word = self.program_memory[address]
+        instruction = self.model.decode(word)
+        if instruction is None:
+            raise ModelError(f"cannot decode 0x{word:08x} at 0x{address:x}")
+        thread.new_instance(self.model, address, instruction, None)
+        return True
+
+    # ------------------------------------------------------------------
+    # Eager closure
+    # ------------------------------------------------------------------
+
+    def eager_closure(self) -> None:
+        """Take all deterministic thread-local steps to a fixpoint."""
+        progress = True
+        iterations = 0
+        while progress:
+            progress = False
+            iterations += 1
+            if iterations > 10000:
+                raise ModelError("eager closure did not converge")
+            for tid in sorted(self.threads):
+                thread = self.threads[tid]
+                if self._fetch_root(thread):
+                    progress = True
+                for ioid in sorted(thread.instances):
+                    instance = thread.instances.get(ioid)
+                    if instance is None:
+                        continue
+                    if self._eager_step_instance(thread, instance):
+                        progress = True
+            # Sync acknowledgements are purely enabling (no transition is
+            # negatively sensitive to acked-ness), so take them eagerly.
+            for bid in sorted(self.storage.unacknowledged_syncs):
+                if self.storage.can_acknowledge_sync(bid):
+                    self.storage.acknowledge_sync(bid)
+                    progress = True
+
+    def _eager_step_instance(self, thread: ThreadState, instance) -> bool:
+        progress = False
+        # Fetch successors speculatively (any time, at any tree leaf).
+        if not self._pruned(thread, instance):
+            for address in self._fetch_candidates(thread, instance):
+                if self._fetch_one(thread, instance, address):
+                    progress = True
+        # Drive the Sail interpreter through deterministic outcomes.
+        while True:
+            tag = instance.mos[0]
+            if tag == MOS_PLAIN:
+                if self._advance_plain(thread, instance):
+                    progress = True
+                    continue
+                break
+            if tag == MOS_BLOCKED_REG:
+                if self._try_resolve_blocked_reg(thread, instance):
+                    progress = True
+                    continue
+                break
+            break
+        # Eager finish (safe: preconditions guarantee restart-freedom).
+        if (
+            not instance.finished
+            and instance.mos[0] == MOS_DONE
+            and self._can_finish(thread, instance)
+        ):
+            self._do_finish(thread, instance)
+            progress = True
+        if progress and not self._pruned(thread, instance):
+            for address in self._fetch_candidates(thread, instance):
+                if self._fetch_one(thread, instance, address):
+                    pass
+        return progress
+
+    def _pruned(self, thread: ThreadState, instance) -> bool:
+        return instance.ioid not in thread.instances
+
+    def _advance_plain(self, thread: ThreadState, instance) -> bool:
+        """Take one deterministic Sail step; returns True on progress."""
+        state = instance.mos[1]
+        outcome = self.model.interp.run_to_outcome(state)
+        if isinstance(outcome, DoneOutcome):
+            instance.mos = (MOS_DONE,)
+            if instance.nia is None:
+                instance.nia = instance.address + 4
+            self._prune_untaken(thread, instance)
+            return True
+        if isinstance(outcome, ReadReg):
+            reg_slice = outcome.slice
+            if reg_slice.reg == "CIA":
+                value = Bits.from_int(instance.address, 64)
+                instance.mos = (MOS_PLAIN, resume(outcome.state, value))
+                return True
+            if reg_slice.reg == "NIA":
+                raise ModelError("pseudocode reads NIA")
+            result = thread.resolve_register_read(
+                self.model, self.params, instance, reg_slice
+            )
+            if result[0] == "blocked":
+                instance.mos = (MOS_BLOCKED_REG, reg_slice, outcome.state)
+                return False
+            _, value, sources = result
+            self._note_address_taint(
+                instance, outcome.state, reg_slice.width, sources
+            )
+            instance.reg_reads = instance.reg_reads + (
+                RegReadRecord(reg_slice, value, sources),
+            )
+            instance.mos = (MOS_PLAIN, resume(outcome.state, value))
+            return True
+        if isinstance(outcome, WriteReg):
+            if outcome.slice.reg == "NIA":
+                if not outcome.value.is_known:
+                    raise ModelError("branch target contains undef bits")
+                instance.nia = outcome.value.to_int()
+                self._prune_untaken(thread, instance)
+            else:
+                instance.reg_writes = instance.reg_writes + (
+                    RegWriteRecord(outcome.slice, outcome.value),
+                )
+            instance.mos = (MOS_PLAIN, resume(outcome.state, None))
+            return True
+        if isinstance(outcome, ReadMem):
+            if not outcome.addr.is_known:
+                raise ModelError("memory read address contains undef bits")
+            instance.mos = (
+                MOS_PENDING_READ,
+                outcome.kind,
+                outcome.addr.to_int(),
+                outcome.size,
+                outcome.state,
+            )
+            return True
+        if isinstance(outcome, WriteMem):
+            if not outcome.addr.is_known:
+                raise ModelError("memory write address contains undef bits")
+            addr = outcome.addr.to_int()
+            if outcome.kind == "conditional":
+                instance.mos = (
+                    MOS_PENDING_SC,
+                    addr,
+                    outcome.size,
+                    outcome.value,
+                    outcome.state,
+                )
+                return True
+            units = self._split_write(instance, addr, outcome.size, outcome.value)
+            instance.mem_writes = instance.mem_writes + units
+            instance.mos = (MOS_PLAIN, resume(outcome.state, None))
+            return True
+        if isinstance(outcome, BarrierOutcome):
+            instance.barrier_kind = outcome.kind
+            instance.mos = (MOS_PLAIN, resume(outcome.state, None))
+            return True
+        raise ModelError(f"unexpected outcome {outcome!r}")
+
+    def _split_write(
+        self, instance, addr: int, size: int, value: Bits
+    ) -> Tuple[Write, ...]:
+        """Decompose a write into architecturally atomic units (section 5)."""
+        index_base = len(instance.mem_writes)
+        if addr % size == 0:
+            return (
+                Write(
+                    WriteId(instance.tid, instance.ioid, index_base),
+                    addr,
+                    size,
+                    value,
+                ),
+            )
+        # Misaligned: single bytes are the atomic units.
+        units = []
+        for i in range(size):
+            units.append(
+                Write(
+                    WriteId(instance.tid, instance.ioid, index_base + i),
+                    addr + i,
+                    1,
+                    value.slice(8 * i, 8 * i + 7),
+                )
+            )
+        return tuple(units)
+
+    def _note_address_taint(
+        self, instance, pending_state, width: int, sources
+    ) -> None:
+        """Record sources of reads that may feed a memory address.
+
+        A register read resolved while the instruction's remaining memory
+        footprint is still undetermined may flow into an address; reads
+        resolved after the footprint is determined cannot (the pseudocode is
+        interpreted sequentially, section 2.1.6).  This realises the paper's
+        dynamic taint tracking (section 2.2): downstream commit conditions
+        treat a footprint as stable only once every address source is
+        finished.
+        """
+        if not sources:
+            return
+        fp = self.model.footprint(
+            resume(pending_state, Bits.unknown(width)), cia=instance.address
+        )
+        if fp.is_memory_access and not fp.memory_determined:
+            merged = set(instance.addr_sources)
+            merged.update(sources)
+            instance.addr_sources = tuple(sorted(merged))
+
+    def _try_resolve_blocked_reg(self, thread: ThreadState, instance) -> bool:
+        _, reg_slice, pending = instance.mos
+        result = thread.resolve_register_read(
+            self.model, self.params, instance, reg_slice
+        )
+        if result[0] == "blocked":
+            return False
+        _, value, sources = result
+        self._note_address_taint(instance, pending, reg_slice.width, sources)
+        instance.reg_reads = instance.reg_reads + (
+            RegReadRecord(reg_slice, value, sources),
+        )
+        instance.mos = (MOS_PLAIN, resume(pending, value))
+        return True
+
+    def _prune_untaken(self, thread: ThreadState, instance) -> None:
+        """Discard speculative children not matching a resolved NIA."""
+        if instance.nia is None:
+            return
+        for address, child in list(instance.children.items()):
+            if address != instance.nia:
+                thread.prune_subtree(child)
+                del instance.children[address]
+
+    # ------------------------------------------------------------------
+    # Commit / finish conditions
+    # ------------------------------------------------------------------
+
+    def _po_previous_branches_finished(self, thread, instance) -> bool:
+        return all(
+            pred.finished
+            for pred in thread.po_previous(instance)
+            if pred.is_branch
+        )
+
+    def _register_sources_finished(self, thread, instance) -> bool:
+        for record in instance.reg_reads:
+            for source in record.sources:
+                pred = thread.instances.get(source)
+                if pred is None or not pred.finished:
+                    return False
+        return True
+
+    def _po_previous_footprints_determined(self, thread, instance) -> bool:
+        """Every po-previous memory access has a determined, *stable* footprint.
+
+        Stability: the register reads that fed the address (``addr_sources``)
+        come from finished instructions, so no restart can move the access.
+        """
+        for pred in thread.po_previous(instance):
+            if not pred.is_memory_access:
+                continue
+            if not pred.memory_footprint_determined(self.model):
+                return False
+            for source in pred.addr_sources:
+                source_instance = thread.instances.get(source)
+                if source_instance is None or not source_instance.finished:
+                    return False
+        return True
+
+    def _po_previous_overlapping_finished(
+        self, thread, instance, footprints: List[Tuple[int, int]]
+    ) -> bool:
+        for pred in thread.po_previous(instance):
+            for addr, size in footprints:
+                if pred.may_access_memory(self.model, addr, size):
+                    if not pred.finished:
+                        return False
+        return True
+
+    def _sync_acked(self, instance) -> bool:
+        bid = BarrierId(instance.tid, instance.ioid)
+        return bid in self.storage.acknowledged_syncs
+
+    def _po_previous_barriers_ok_for_commit(
+        self, thread, instance, is_store: bool
+    ) -> bool:
+        for pred in thread.po_previous(instance):
+            kinds = pred.static_barrier_kinds()
+            if not kinds:
+                continue
+            if "sync" in kinds:
+                if not (pred.barrier_committed and self._sync_acked(pred)):
+                    return False
+            if "lwsync" in kinds or ("eieio" in kinds and is_store):
+                if not pred.barrier_committed:
+                    return False
+            if "isync" in kinds and not pred.finished:
+                return False
+        return True
+
+    def _can_finish(self, thread, instance) -> bool:
+        """Generic instruction finish (the paper's commit) conditions."""
+        if instance.mos[0] != MOS_DONE:
+            return False
+        if instance.mem_writes and not instance.writes_committed:
+            return False  # stores finish through the commit-store transition
+        if instance.is_storage_barrier and not instance.barrier_committed:
+            return False
+        if not self._po_previous_branches_finished(thread, instance):
+            return False
+        if not self._register_sources_finished(thread, instance):
+            return False
+        if instance.is_memory_access:
+            if not self._po_previous_footprints_determined(thread, instance):
+                return False
+        if instance.mem_reads:
+            if not self._po_previous_overlapping_finished(
+                thread, instance, instance.read_footprints()
+            ):
+                return False
+            if not self._po_previous_barriers_ok_for_commit(
+                thread, instance, is_store=False
+            ):
+                return False
+        return True
+
+    def _do_finish(self, thread, instance) -> None:
+        instance.finished = True
+        self._prune_untaken(thread, instance)
+
+    def _can_commit_store(self, thread, instance) -> bool:
+        if instance.mos[0] != MOS_DONE or not instance.mem_writes:
+            return False
+        if instance.writes_committed:
+            return False
+        if not self._po_previous_branches_finished(thread, instance):
+            return False
+        if not self._register_sources_finished(thread, instance):
+            return False
+        if not self._po_previous_footprints_determined(thread, instance):
+            return False
+        if not self._po_previous_overlapping_finished(
+            thread, instance, instance.performed_write_footprints()
+        ):
+            return False
+        if not self._po_previous_barriers_ok_for_commit(
+            thread, instance, is_store=True
+        ):
+            return False
+        return True
+
+    def _can_commit_barrier(self, thread, instance) -> bool:
+        if instance.barrier_kind not in ("sync", "lwsync", "eieio"):
+            return False
+        if instance.barrier_committed or instance.mos[0] != MOS_DONE:
+            return False
+        if not self._po_previous_branches_finished(thread, instance):
+            return False
+        for pred in thread.po_previous(instance):
+            if pred.is_store:
+                # Stores ahead of the barrier must be fully performed and
+                # committed so they land in the barrier's Group A.
+                if not pred.is_done_executing:
+                    return False
+                if pred.mem_writes and not pred.writes_committed:
+                    return False
+            if instance.barrier_kind in ("sync", "lwsync"):
+                if pred.is_load and not pred.finished:
+                    return False
+            kinds = pred.static_barrier_kinds()
+            if "isync" in kinds:
+                if not pred.finished:
+                    return False
+            elif kinds and not pred.barrier_committed:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Read satisfaction
+    # ------------------------------------------------------------------
+
+    def _read_blocked_by_barrier(self, thread, instance) -> bool:
+        for pred in thread.po_previous(instance):
+            kinds = pred.static_barrier_kinds()
+            if "sync" in kinds and not (
+                pred.barrier_committed and self._sync_acked(pred)
+            ):
+                return True
+            if "lwsync" in kinds and not pred.barrier_committed:
+                return True
+            if "isync" in kinds and not pred.finished:
+                return True
+        return False
+
+    def _read_satisfaction_options(self, thread, instance) -> List[Transition]:
+        _, kind, addr, size, _ = instance.mos
+        if self._read_blocked_by_barrier(thread, instance):
+            return []
+        needed: Set[int] = set(range(addr, addr + size))
+        for pred in thread.po_previous(instance):
+            if not needed:
+                break
+            for write in pred.mem_writes:
+                overlap = needed & set(
+                    range(write.addr, write.addr + write.size)
+                )
+                if not overlap:
+                    continue
+                if pred.writes_committed:
+                    needed -= overlap  # storage supplies these bytes
+                elif write.covers(addr, size) and needed == set(
+                    range(addr, addr + size)
+                ):
+                    return [
+                        Transition(
+                            kind="satisfy_read_forward",
+                            tid=thread.tid,
+                            ioid=instance.ioid,
+                            detail=(pred.ioid, write.wid),
+                            label=(
+                                f"{instance.ioid} satisfy read "
+                                f"{self._loc(addr)} by forwarding from "
+                                f"{pred.ioid}"
+                            ),
+                        )
+                    ]
+                else:
+                    return []  # partially covering uncommitted store: wait
+            if needed and not pred.finished:
+                if pred.may_write_memory_overlapping(
+                    self.model, addr, size
+                ) and not pred.writes_committed:
+                    return []  # might still store here: wait
+        return [
+            Transition(
+                kind="satisfy_read_storage",
+                tid=thread.tid,
+                ioid=instance.ioid,
+                label=(
+                    f"{instance.ioid} satisfy read {self._loc(addr)} "
+                    f"from storage"
+                ),
+            )
+        ]
+
+    def _loc(self, addr: int) -> str:
+        symbol = self.symbols.get(addr)
+        return symbol if symbol else f"0x{addr:x}"
+
+    # ------------------------------------------------------------------
+    # Restarts
+    # ------------------------------------------------------------------
+
+    def _restart(self, thread, instance) -> None:
+        """Reset an instance to its initial state and cascade to dependents."""
+        worklist = [instance.ioid]
+        restarted: Set[Ioid] = set()
+        while worklist:
+            ioid = worklist.pop()
+            if ioid in restarted:
+                continue
+            target = thread.instances.get(ioid)
+            if target is None:
+                continue
+            restarted.add(ioid)
+            if target.finished or target.writes_committed:
+                raise ModelError(f"restarting committed instance {ioid}")
+            had_writes = bool(target.mem_writes) or target.static_fp.is_store
+            target.mos = (MOS_PLAIN, self.model.initial_state(target.instruction))
+            target.reg_reads = ()
+            target.reg_writes = ()
+            target.mem_reads = ()
+            target.mem_writes = ()
+            target.barrier_kind = None
+            target.nia = None
+            target.sc_resolved = None
+            target.restarts += 1
+            if thread.reservation is not None and thread.reservation[3] == ioid:
+                thread.reservation = None
+            # Dependents: anything that read a register from this instance,
+            # anything that forwarded from its writes, and -- if it may write
+            # memory -- any program-order-later satisfied read (its footprint
+            # may change).
+            for other in thread.instances.values():
+                if other.ioid in restarted:
+                    continue
+                depends = any(
+                    ioid in record.sources for record in other.reg_reads
+                ) or any(
+                    record.forwarded_from == ioid for record in other.mem_reads
+                )
+                if depends:
+                    worklist.append(other.ioid)
+            if had_writes:
+                # The store's footprint may change on re-execution, so
+                # po-later satisfied reads are conservatively restarted.
+                # Finished ones are provably unaffected: their commit
+                # required every po-previous footprint to be determined with
+                # *finished* address sources, so this store's address cannot
+                # move onto them.
+                for descendant in thread.descendants(target):
+                    if (
+                        descendant.mem_reads
+                        and not descendant.finished
+                        and descendant.ioid not in restarted
+                    ):
+                        worklist.append(descendant.ioid)
+
+    def _coherence_restart_check(self, thread, instance, record: MemReadRecord):
+        """Restart po-later reads that saw coherence-older writes (CoRR)."""
+        new_sources = {
+            record.addr + offset + i: wid
+            for wid, offset, length in record.storage_sources
+            for i in range(length)
+        }
+        for descendant in list(thread.descendants(instance)):
+            for other in descendant.mem_reads:
+                if other.forwarded_from is not None:
+                    continue
+                conflict = False
+                for wid, offset, length in other.storage_sources:
+                    for i in range(length):
+                        byte_addr = other.addr + offset + i
+                        new_wid = new_sources.get(byte_addr)
+                        if new_wid is None or new_wid == wid:
+                            continue
+                        if self.storage.coherence_before(wid, new_wid):
+                            conflict = True
+                if conflict:
+                    self._restart(thread, descendant)
+                    break
+
+    # ------------------------------------------------------------------
+    # Transition enumeration
+    # ------------------------------------------------------------------
+
+    def enumerate_transitions(self) -> List[Transition]:
+        transitions: List[Transition] = []
+        for tid in sorted(self.threads):
+            thread = self.threads[tid]
+            for ioid in sorted(thread.instances):
+                instance = thread.instances[ioid]
+                tag = instance.mos[0]
+                if tag == MOS_PENDING_READ:
+                    transitions.extend(
+                        self._read_satisfaction_options(thread, instance)
+                    )
+                elif tag == MOS_PENDING_SC:
+                    transitions.extend(
+                        self._sc_options(thread, instance)
+                    )
+                elif (
+                    tag == MOS_DONE
+                    and instance.mem_writes
+                    and not instance.writes_committed
+                    and self._can_commit_store(thread, instance)
+                ):
+                    transitions.append(
+                        Transition(
+                            kind="commit_store",
+                            tid=tid,
+                            ioid=ioid,
+                            label=f"{ioid} commit store to storage",
+                        )
+                    )
+                if (
+                    instance.is_storage_barrier
+                    and not instance.barrier_committed
+                    and self._can_commit_barrier(thread, instance)
+                ):
+                    transitions.append(
+                        Transition(
+                            kind="commit_barrier",
+                            tid=tid,
+                            ioid=ioid,
+                            label=f"{ioid} commit {instance.barrier_kind} barrier",
+                        )
+                    )
+        for wid in sorted(self.storage.writes_seen):
+            for tid in self.storage.threads:
+                if self.storage.can_propagate_write(wid, tid):
+                    write = self.storage.writes_seen[wid]
+                    transitions.append(
+                        Transition(
+                            kind="propagate_write",
+                            tid=tid,
+                            detail=(wid,),
+                            label=(
+                                f"propagate {write}"
+                                f" to thread {tid}"
+                            ),
+                        )
+                    )
+        for bid in sorted(self.storage.barriers_seen):
+            for tid in self.storage.threads:
+                if self.storage.can_propagate_barrier(bid, tid):
+                    barrier = self.storage.barriers_seen[bid]
+                    transitions.append(
+                        Transition(
+                            kind="propagate_barrier",
+                            tid=tid,
+                            detail=(bid,),
+                            label=f"propagate {barrier} to thread {tid}",
+                        )
+                    )
+        for bid in sorted(self.storage.unacknowledged_syncs):
+            if self.storage.can_acknowledge_sync(bid):
+                transitions.append(
+                    Transition(
+                        kind="ack_sync",
+                        detail=(bid,),
+                        label=f"acknowledge sync {bid}",
+                    )
+                )
+        for wid in sorted(self.storage.writes_seen):
+            if self.storage.can_reach_coherence_point(wid):
+                write = self.storage.writes_seen[wid]
+                transitions.append(
+                    Transition(
+                        kind="reach_coherence_point",
+                        detail=(wid,),
+                        label=f"{write} reaches its coherence point",
+                    )
+                )
+        return transitions
+
+    def _sc_options(self, thread, instance) -> List[Transition]:
+        """Store-conditional resolution: success and/or failure."""
+        _, addr, size, value, _ = instance.mos
+        if not self._can_commit_store_conditional(thread, instance):
+            return []
+        options = [
+            Transition(
+                kind="resolve_sc",
+                tid=thread.tid,
+                ioid=instance.ioid,
+                detail=(False,),
+                label=f"{instance.ioid} store-conditional fails",
+            )
+        ]
+        reservation = thread.reservation
+        if reservation is not None:
+            res_addr, res_size, res_wid, _res_ioid = reservation
+            if res_addr == addr and res_size == size:
+                latest = None
+                for write in self.storage.writes_propagated_to(thread.tid):
+                    if write.overlaps(addr, size):
+                        latest = write
+                if latest is not None and latest.wid == res_wid:
+                    options.append(
+                        Transition(
+                            kind="resolve_sc",
+                            tid=thread.tid,
+                            ioid=instance.ioid,
+                            detail=(True,),
+                            label=f"{instance.ioid} store-conditional succeeds",
+                        )
+                    )
+        return options
+
+    def _can_commit_store_conditional(self, thread, instance) -> bool:
+        if not self._po_previous_branches_finished(thread, instance):
+            return False
+        if not self._register_sources_finished(thread, instance):
+            return False
+        if not self._po_previous_footprints_determined(thread, instance):
+            return False
+        _, addr, size, _, _ = instance.mos
+        if not self._po_previous_overlapping_finished(
+            thread, instance, [(addr, size)]
+        ):
+            return False
+        if not self._po_previous_barriers_ok_for_commit(
+            thread, instance, is_store=True
+        ):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Transition application
+    # ------------------------------------------------------------------
+
+    def apply(self, transition: Transition) -> "SystemState":
+        """Apply a transition, returning the successor state."""
+        state = self.clone()
+        state._apply_in_place(transition)
+        if state.params.eager:
+            state.eager_closure()
+        return state
+
+    def _apply_in_place(self, transition: Transition) -> None:
+        kind = transition.kind
+        if kind == "satisfy_read_storage":
+            self._do_satisfy_from_storage(transition)
+        elif kind == "satisfy_read_forward":
+            self._do_satisfy_by_forwarding(transition)
+        elif kind == "commit_store":
+            self._do_commit_store(transition)
+        elif kind == "resolve_sc":
+            self._do_resolve_sc(transition)
+        elif kind == "commit_barrier":
+            self._do_commit_barrier(transition)
+        elif kind == "propagate_write":
+            self._do_propagate_write(transition)
+        elif kind == "propagate_barrier":
+            self.storage.propagate_barrier(transition.detail[0], transition.tid)
+        elif kind == "ack_sync":
+            self.storage.acknowledge_sync(transition.detail[0])
+        elif kind == "reach_coherence_point":
+            self.storage.reach_coherence_point(transition.detail[0])
+        else:
+            raise ModelError(f"unknown transition {kind}")
+
+    def _do_satisfy_from_storage(self, transition: Transition) -> None:
+        thread = self.threads[transition.tid]
+        instance = thread.instances[transition.ioid]
+        _, kind, addr, size, pending = instance.mos
+        value, provenance = self.storage.read_response(thread.tid, addr, size)
+        record = MemReadRecord(addr, size, value, kind, provenance, None)
+        instance.mem_reads = instance.mem_reads + (record,)
+        instance.mos = (MOS_PLAIN, resume(pending, value))
+        if kind == "reserve":
+            # Reserve on the coherence-latest covering write.
+            last_wid = provenance[-1][0] if provenance else None
+            thread.reservation = (addr, size, last_wid, instance.ioid)
+        self._coherence_restart_check(thread, instance, record)
+
+    def _do_satisfy_by_forwarding(self, transition: Transition) -> None:
+        thread = self.threads[transition.tid]
+        instance = thread.instances[transition.ioid]
+        source_ioid, wid = transition.detail
+        source = thread.instances[source_ioid]
+        write = next(w for w in source.mem_writes if w.wid == wid)
+        _, kind, addr, size, pending = instance.mos
+        value = write.extract(addr, size)
+        record = MemReadRecord(addr, size, value, kind, (), source_ioid)
+        instance.mem_reads = instance.mem_reads + (record,)
+        instance.mos = (MOS_PLAIN, resume(pending, value))
+        if kind == "reserve":
+            thread.reservation = (addr, size, wid, instance.ioid)
+
+    def _do_commit_store(self, transition: Transition) -> None:
+        thread = self.threads[transition.tid]
+        instance = thread.instances[transition.ioid]
+        for write in instance.mem_writes:
+            self.storage.accept_write(write)
+            self._invalidate_reservations(write, accepting_tid=thread.tid)
+        instance.writes_committed = True
+        if self._can_finish(thread, instance):
+            self._do_finish(thread, instance)
+
+    def _do_resolve_sc(self, transition: Transition) -> None:
+        thread = self.threads[transition.tid]
+        instance = thread.instances[transition.ioid]
+        success = transition.detail[0]
+        _, addr, size, value, pending = instance.mos
+        reservation = thread.reservation
+        thread.reservation = None
+        instance.sc_resolved = success
+        if success:
+            write = Write(
+                WriteId(instance.tid, instance.ioid, 0),
+                addr,
+                size,
+                value,
+                is_conditional=True,
+            )
+            instance.mem_writes = (write,)
+            self.storage.accept_write(write)
+            self._invalidate_reservations(write, accepting_tid=thread.tid)
+            instance.writes_committed = True
+            if reservation is not None and reservation[2] is not None:
+                self.storage.atomic_pairs.add((reservation[2], write.wid))
+        instance.mos = (MOS_PLAIN, resume(pending, TRUE if success else FALSE))
+
+    def _invalidate_reservations(self, write: Write, accepting_tid: int) -> None:
+        """A store to a reserved granule clears other threads' reservations
+        once visible; the accepting thread's own reservation clears unless
+        the write *is* its conditional store (handled by the caller)."""
+        for tid, thread in self.threads.items():
+            if thread.reservation is None:
+                continue
+            res_addr, res_size, _, _ = thread.reservation
+            if not write.overlaps(res_addr, res_size):
+                continue
+            if tid == accepting_tid:
+                thread.reservation = None
+
+    def _do_commit_barrier(self, transition: Transition) -> None:
+        thread = self.threads[transition.tid]
+        instance = thread.instances[transition.ioid]
+        event = BarrierEvent(
+            BarrierId(instance.tid, instance.ioid), instance.barrier_kind
+        )
+        self.storage.accept_barrier(event)
+        instance.barrier_committed = True
+        if self._can_finish(thread, instance):
+            self._do_finish(thread, instance)
+
+    def _do_propagate_write(self, transition: Transition) -> None:
+        wid = transition.detail[0]
+        self.storage.propagate_write(wid, transition.tid)
+        write = self.storage.writes_seen[wid]
+        # A write becoming visible to a reserving thread clears its
+        # reservation (another processor stored to the granule).
+        target_thread = self.threads[transition.tid]
+        if target_thread.reservation is not None:
+            res_addr, res_size, _, _ = target_thread.reservation
+            if write.overlaps(res_addr, res_size):
+                target_thread.reservation = None
+
+    # ------------------------------------------------------------------
+    # Finality
+    # ------------------------------------------------------------------
+
+    def threads_finished(self) -> bool:
+        """All instructions of all threads fetched and finished."""
+        for thread in self.threads.values():
+            if thread.root is None:
+                entry = thread.initial_fetch_address
+                if entry is not None and entry in self.program_memory:
+                    return False
+                continue
+            for instance in thread.instances.values():
+                if not instance.finished:
+                    return False
+                for address in self._fetch_candidates(thread, instance):
+                    if address not in instance.children:
+                        return False
+        return True
+
+    def is_final(self) -> bool:
+        """Threads complete *and* every write past its coherence point.
+
+        Reached-but-CP-stuck states (a barrier-induced coherence-point cycle)
+        are dead paths: those coherence choices cannot all be realised by any
+        hardware execution, so they yield no outcome.
+        """
+        return (
+            self.threads_finished()
+            and self.storage.all_writes_past_coherence_point()
+        )
+
+    def final_registers(self) -> Dict[int, Dict[str, Bits]]:
+        result: Dict[int, Dict[str, Bits]] = {}
+        for tid, thread in self.threads.items():
+            regs: Dict[str, Bits] = {}
+            names = set(thread.initial_registers)
+            for instance in thread.instances.values():
+                for record in instance.reg_writes:
+                    names.add(record.slice.reg)
+            for name in names:
+                regs[name] = thread.final_register_value(self.model, name)
+            result[tid] = regs
+        return result
+
+    def final_memory(self, cells: Iterable[Tuple[int, int]]):
+        return self.storage.final_memory_values(cells)
+
+    # ------------------------------------------------------------------
+    # Rendering (Fig. 3-style)
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        lines = [self.storage.render(self.symbols.get)]
+        for tid in sorted(self.threads):
+            thread = self.threads[tid]
+            lines.append(f"Thread {tid} state:")
+            for ioid in sorted(thread.instances):
+                instance = thread.instances[ioid]
+                fp = instance.static_fp
+                regs_in = ", ".join(sorted(str(s) for s in fp.regs_in))
+                regs_out = ", ".join(sorted(str(s) for s in fp.regs_out))
+                status = "finished" if instance.finished else instance.mos[0]
+                lines.append(
+                    f"  instruction {ioid[1]} ioid: {ioid} "
+                    f"address: 0x{instance.address:016x} "
+                    f"{instance.instruction}"
+                )
+                lines.append(
+                    f"    regs_in: {{{regs_in}}} regs_out: {{{regs_out}}} "
+                    f"status: {status}"
+                )
+                if instance.mem_writes:
+                    writes = ", ".join(str(w) for w in instance.mem_writes)
+                    committed = (
+                        "committed" if instance.writes_committed else "pending"
+                    )
+                    lines.append(f"    memory writes ({committed}): {writes}")
+                if instance.mem_reads:
+                    reads = ", ".join(
+                        f"R 0x{r.addr:x}/{r.size}={r.value!r}"
+                        for r in instance.mem_reads
+                    )
+                    lines.append(f"    memory reads satisfied: {reads}")
+        return "\n".join(lines)

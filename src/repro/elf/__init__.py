@@ -1,0 +1,19 @@
+"""ELF64 big-endian front-end (reader, writer, loader)."""
+
+from .format import ElfError, ElfImage, Segment, Symbol
+from .loader import LoadedProgram, load_image, load_into_machine
+from .reader import read_elf
+from .writer import make_executable, write_elf
+
+__all__ = [
+    "ElfError",
+    "ElfImage",
+    "LoadedProgram",
+    "Segment",
+    "Symbol",
+    "load_image",
+    "load_into_machine",
+    "make_executable",
+    "read_elf",
+    "write_elf",
+]

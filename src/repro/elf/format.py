@@ -1,0 +1,92 @@
+"""ELF64 structures shared by the reader and writer.
+
+The paper's binary front-end parses statically linked Power64 ELF
+executables (section 6).  POWER64 (big-endian ABI v1) uses ELFCLASS64,
+ELFDATA2MSB, machine EM_PPC64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+ELF_MAGIC = b"\x7fELF"
+ELFCLASS64 = 2
+ELFDATA2MSB = 2  # big-endian
+EV_CURRENT = 1
+ET_EXEC = 2
+EM_PPC64 = 21
+
+PT_LOAD = 1
+
+PF_X = 1
+PF_W = 2
+PF_R = 4
+
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_NOBITS = 8
+
+STB_GLOBAL = 1
+STT_OBJECT = 1
+STT_FUNC = 2
+
+EHDR_SIZE = 64
+PHDR_SIZE = 56
+SHDR_SIZE = 64
+SYM_SIZE = 24
+
+
+class ElfError(Exception):
+    """Malformed or unsupported ELF image."""
+
+
+@dataclass
+class Segment:
+    """One loadable program segment."""
+
+    vaddr: int
+    data: bytes
+    memsz: int
+    flags: int
+
+    @property
+    def executable(self) -> bool:
+        return bool(self.flags & PF_X)
+
+
+@dataclass
+class Symbol:
+    """One symbol-table entry."""
+
+    name: str
+    value: int
+    size: int
+    kind: int  # STT_*
+
+    @property
+    def is_function(self) -> bool:
+        return self.kind == STT_FUNC
+
+
+@dataclass
+class ElfImage:
+    """A parsed (or to-be-written) executable image."""
+
+    entry: int
+    segments: List[Segment]
+    symbols: List[Symbol]
+
+    def symbol(self, name: str) -> Symbol:
+        for sym in self.symbols:
+            if sym.name == name:
+                return sym
+        raise KeyError(name)
+
+    def symbol_at(self, address: int) -> Optional[str]:
+        for sym in self.symbols:
+            if sym.value == address:
+                return sym.name
+        return None

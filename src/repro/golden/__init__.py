@@ -1,0 +1,5 @@
+"""The independent golden emulator (the section-7 hardware stand-in)."""
+
+from .emulator import GoldenError, GoldenMachine, execute
+
+__all__ = ["GoldenError", "GoldenMachine", "execute"]

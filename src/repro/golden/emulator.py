@@ -1,0 +1,955 @@
+"""An independent "golden" POWER emulator, standing in for hardware.
+
+Section 7 of the paper validates the Sail-derived model against a POWER 7
+server.  We have no hardware, so this module is the substitute: a second,
+from-scratch implementation of the same instructions written directly
+against the ISA manual in plain Python (integers and explicit masking, no
+Sail, no lifted bits).  The differential harness (``repro.testgen``) runs
+both and compares final state up to the model's ``undef`` bits, exactly as
+the paper compares model vs hardware "up to undef".
+
+Where the architecture leaves a value undefined, hardware returns *some*
+concrete value; this emulator fills such results with the pattern
+``0xA5A5...`` so that a model that wrongly claims a concrete value will be
+caught by the comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..isa.model import DecodedInstruction
+
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+
+#: Deterministic filler for architecturally undefined results.
+UNDEF_FILL32 = 0xA5A5A5A5
+UNDEF_FILL64 = 0xA5A5A5A5A5A5A5A5
+
+
+class GoldenError(Exception):
+    """The golden emulator cannot execute this instruction."""
+
+
+def _sext(value: int, width: int) -> int:
+    """Sign-extend a ``width``-bit value to a Python int."""
+    value &= (1 << width) - 1
+    if value >> (width - 1):
+        value -= 1 << width
+    return value
+
+
+def _u(value: int, width: int = 64) -> int:
+    return value & ((1 << width) - 1)
+
+
+def _rotl(value: int, amount: int, width: int) -> int:
+    amount %= width
+    value &= (1 << width) - 1
+    return ((value << amount) | (value >> (width - amount))) & ((1 << width) - 1) if amount else value
+
+
+def _mask(mstart: int, mstop: int) -> int:
+    """POWER 64-bit rotate mask (MSB-0 numbering, wrapping)."""
+    def bit(i: int) -> int:
+        return 1 << (63 - i)
+
+    mask = 0
+    if mstart <= mstop:
+        for i in range(mstart, mstop + 1):
+            mask |= bit(i)
+    else:
+        for i in range(mstart, 64):
+            mask |= bit(i)
+        for i in range(0, mstop + 1):
+            mask |= bit(i)
+    return mask
+
+
+class GoldenMachine:
+    """Plain-integer architected state."""
+
+    def __init__(self):
+        self.gpr = [0] * 32
+        self.cr = 0  # 32 bits
+        self.so = 0
+        self.ov = 0
+        self.ca = 0
+        self.lr = 0
+        self.ctr = 0
+        self.cia = 0
+        self.memory: Dict[int, int] = {}  # byte-addressed
+        self.reservation: Optional[int] = None
+
+    # -- memory ----------------------------------------------------------
+
+    def load(self, addr: int, size: int) -> int:
+        value = 0
+        for i in range(size):
+            value = (value << 8) | self.memory.get(_u(addr + i), 0)
+        return value
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        for i in range(size):
+            self.memory[_u(addr + i)] = (value >> (8 * (size - 1 - i))) & 0xFF
+
+    # -- CR helpers --------------------------------------------------------
+
+    def set_cr_field(self, index: int, value: int) -> None:
+        shift = 4 * (7 - index)
+        self.cr = (self.cr & ~(0xF << shift)) | ((value & 0xF) << shift)
+
+    def cr_field(self, index: int) -> int:
+        return (self.cr >> (4 * (7 - index))) & 0xF
+
+    def cr_bit(self, bit_index: int) -> int:
+        """CR bit in the 32..63 vendor numbering."""
+        return (self.cr >> (63 - bit_index)) & 1
+
+    def set_cr_bit(self, bit_index: int, value: int) -> None:
+        mask = 1 << (63 - bit_index)
+        self.cr = (self.cr & ~mask) | (mask if value & 1 else 0)
+
+    def record(self, result64: int) -> None:
+        signed = _sext(result64, 64)
+        flags = 0b100 if signed < 0 else (0b010 if signed > 0 else 0b001)
+        self.set_cr_field(0, (flags << 1) | self.so)
+
+    def record_undefined(self) -> None:
+        """Record form over a partially undefined result (mulhw., divw.)."""
+        self.set_cr_field(0, ((UNDEF_FILL32 & 0b111) << 1) | self.so)
+
+    def set_ov(self, flag: int) -> None:
+        self.ov = flag & 1
+        self.so |= self.ov
+
+    # -- XER as a register -------------------------------------------------
+
+    @property
+    def xer(self) -> int:
+        return (self.so << 31) | (self.ov << 30) | (self.ca << 29)
+
+    @xer.setter
+    def xer(self, value: int) -> None:
+        self.so = (value >> 31) & 1
+        self.ov = (value >> 30) & 1
+        self.ca = (value >> 29) & 1
+
+
+Handler = Callable[[GoldenMachine, Dict[str, int]], Optional[int]]
+
+HANDLERS: Dict[str, Handler] = {}
+
+
+def handler(name: str):
+    def register(func: Handler) -> Handler:
+        HANDLERS[name] = func
+        return func
+
+    return register
+
+
+def execute(machine: GoldenMachine, instruction: DecodedInstruction) -> int:
+    """Execute one instruction; returns the next instruction address."""
+    fields = dict(instruction.fields)
+    try:
+        func = HANDLERS[instruction.name]
+    except KeyError:
+        raise GoldenError(f"no golden handler for {instruction.name}")
+    nia = func(machine, fields)
+    return nia if nia is not None else _u(machine.cia + 4)
+
+
+# ----------------------------------------------------------------------
+# Branch facility
+# ----------------------------------------------------------------------
+
+
+@handler("B")
+def _b(m: GoldenMachine, f):
+    offset = _sext(f["LI"] << 2, 26)
+    target = _u(offset) if f["AA"] else _u(m.cia + offset)
+    if f["LK"]:
+        m.lr = _u(m.cia + 4)
+    return target
+
+
+def _bo_taken(m: GoldenMachine, bo: int, bi: int, decrement_ok: bool = True) -> bool:
+    if decrement_ok and not (bo >> 2) & 1:  # BO[2]=0: decrement CTR
+        m.ctr = _u(m.ctr - 1)
+        ctr_ok = (m.ctr != 0) != bool((bo >> 1) & 1)  # BO[3]
+    else:
+        ctr_ok = True
+    if not (bo >> 4) & 1:  # BO[0]=0: test CR bit against BO[1]
+        cond_ok = m.cr_bit(bi + 32) == ((bo >> 3) & 1)
+    else:
+        cond_ok = True
+    return ctr_ok and cond_ok
+
+
+@handler("Bc")
+def _bc(m: GoldenMachine, f):
+    taken = _bo_taken(m, f["BO"], f["BI"])
+    lr = _u(m.cia + 4)
+    offset = _sext(f["BD"] << 2, 16)
+    target = _u(offset) if f["AA"] else _u(m.cia + offset)
+    if f["LK"]:
+        m.lr = lr
+    return target if taken else None
+
+
+@handler("Bclr")
+def _bclr(m: GoldenMachine, f):
+    taken = _bo_taken(m, f["BO"], f["BI"])
+    target = m.lr & ~0b11
+    if f["LK"]:
+        m.lr = _u(m.cia + 4)
+    return target if taken else None
+
+
+@handler("Bcctr")
+def _bcctr(m: GoldenMachine, f):
+    taken = _bo_taken(m, f["BO"], f["BI"], decrement_ok=False)
+    target = m.ctr & ~0b11
+    if f["LK"]:
+        m.lr = _u(m.cia + 4)
+    return target if taken else None
+
+
+# ----------------------------------------------------------------------
+# Loads and stores
+# ----------------------------------------------------------------------
+
+
+def _ea_d(m: GoldenMachine, f) -> int:
+    base = 0 if f["RA"] == 0 else m.gpr[f["RA"]]
+    return _u(base + _sext(f["D"], 16))
+
+
+def _ea_ds(m: GoldenMachine, f) -> int:
+    base = 0 if f["RA"] == 0 else m.gpr[f["RA"]]
+    return _u(base + _sext(f["DS"] << 2, 16))
+
+
+def _ea_x(m: GoldenMachine, f) -> int:
+    base = 0 if f["RA"] == 0 else m.gpr[f["RA"]]
+    return _u(base + m.gpr[f["RB"]])
+
+
+def _ea_d_update(m: GoldenMachine, f) -> int:
+    return _u(m.gpr[f["RA"]] + _sext(f["D"], 16))
+
+
+def _ea_ds_update(m: GoldenMachine, f) -> int:
+    return _u(m.gpr[f["RA"]] + _sext(f["DS"] << 2, 16))
+
+
+def _ea_x_update(m: GoldenMachine, f) -> int:
+    return _u(m.gpr[f["RA"]] + m.gpr[f["RB"]])
+
+
+def _register_load(name: str, ea, size: int, signed: bool, update: bool):
+    @handler(name)
+    def _load(m: GoldenMachine, f):
+        addr = ea(m, f)
+        value = m.load(addr, size)
+        if signed:
+            value = _u(_sext(value, 8 * size))
+        m.gpr[f["RT"]] = value
+        if update:
+            m.gpr[f["RA"]] = addr
+        return None
+
+    return _load
+
+
+def _register_store(name: str, ea, size: int, update: bool):
+    @handler(name)
+    def _store(m: GoldenMachine, f):
+        addr = ea(m, f)
+        m.store(addr, size, _u(m.gpr[f["RS"]], 8 * size))
+        if update:
+            m.gpr[f["RA"]] = addr
+        return None
+
+    return _store
+
+
+for _name, _ea, _size, _signed, _update in [
+    ("Lbz", _ea_d, 1, False, False),
+    ("Lbzu", _ea_d_update, 1, False, True),
+    ("Lhz", _ea_d, 2, False, False),
+    ("Lhzu", _ea_d_update, 2, False, True),
+    ("Lha", _ea_d, 2, True, False),
+    ("Lhau", _ea_d_update, 2, True, True),
+    ("Lwz", _ea_d, 4, False, False),
+    ("Lwzu", _ea_d_update, 4, False, True),
+    ("Ld", _ea_ds, 8, False, False),
+    ("Ldu", _ea_ds_update, 8, False, True),
+    ("Lwa", _ea_ds, 4, True, False),
+    ("Lbzx", _ea_x, 1, False, False),
+    ("Lbzux", _ea_x_update, 1, False, True),
+    ("Lhzx", _ea_x, 2, False, False),
+    ("Lhzux", _ea_x_update, 2, False, True),
+    ("Lhax", _ea_x, 2, True, False),
+    ("Lhaux", _ea_x_update, 2, True, True),
+    ("Lwzx", _ea_x, 4, False, False),
+    ("Lwzux", _ea_x_update, 4, False, True),
+    ("Lwax", _ea_x, 4, True, False),
+    ("Lwaux", _ea_x_update, 4, True, True),
+    ("Ldx", _ea_x, 8, False, False),
+    ("Ldux", _ea_x_update, 8, False, True),
+]:
+    _register_load(_name, _ea, _size, _signed, _update)
+
+for _name, _ea, _size, _update in [
+    ("Stb", _ea_d, 1, False),
+    ("Stbu", _ea_d_update, 1, True),
+    ("Sth", _ea_d, 2, False),
+    ("Sthu", _ea_d_update, 2, True),
+    ("Stw", _ea_d, 4, False),
+    ("Stwu", _ea_d_update, 4, True),
+    ("Std", _ea_ds, 8, False),
+    ("Stdu", _ea_ds_update, 8, True),
+    ("Stbx", _ea_x, 1, False),
+    ("Stbux", _ea_x_update, 1, True),
+    ("Sthx", _ea_x, 2, False),
+    ("Sthux", _ea_x_update, 2, True),
+    ("Stwx", _ea_x, 4, False),
+    ("Stwux", _ea_x_update, 4, True),
+    ("Stdx", _ea_x, 8, False),
+    ("Stdux", _ea_x_update, 8, True),
+]:
+    _register_store(_name, _ea, _size, _update)
+
+
+def _register_brx_load(name: str, size: int):
+    @handler(name)
+    def _load(m: GoldenMachine, f):
+        value = m.load(_ea_x(m, f), size)
+        data = value.to_bytes(size, "big")
+        m.gpr[f["RT"]] = int.from_bytes(data, "little")
+        return None
+
+    return _load
+
+
+def _register_brx_store(name: str, size: int):
+    @handler(name)
+    def _store(m: GoldenMachine, f):
+        data = _u(m.gpr[f["RS"]], 8 * size).to_bytes(size, "big")
+        m.store(_ea_x(m, f), size, int.from_bytes(data, "little"))
+        return None
+
+    return _store
+
+
+for _name, _size in [("Lhbrx", 2), ("Lwbrx", 4), ("Ldbrx", 8)]:
+    _register_brx_load(_name, _size)
+for _name, _size in [("Sthbrx", 2), ("Stwbrx", 4), ("Stdbrx", 8)]:
+    _register_brx_store(_name, _size)
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+
+
+@handler("Addi")
+def _addi(m: GoldenMachine, f):
+    base = 0 if f["RA"] == 0 else m.gpr[f["RA"]]
+    m.gpr[f["RT"]] = _u(base + _sext(f["SI"], 16))
+
+
+@handler("Addis")
+def _addis(m: GoldenMachine, f):
+    base = 0 if f["RA"] == 0 else m.gpr[f["RA"]]
+    m.gpr[f["RT"]] = _u(base + (_sext(f["SI"], 16) << 16))
+
+
+@handler("Addic")
+def _addic(m: GoldenMachine, f):
+    a = m.gpr[f["RA"]]
+    total = a + _u(_sext(f["SI"], 16))
+    m.gpr[f["RT"]] = _u(total)
+    m.ca = total >> 64 & 1
+
+
+@handler("AddicRecord")
+def _addic_record(m: GoldenMachine, f):
+    _addic(m, f)
+    m.record(m.gpr[f["RT"]])
+
+
+@handler("Subfic")
+def _subfic(m: GoldenMachine, f):
+    a = m.gpr[f["RA"]]
+    total = _u(~a) + _u(_sext(f["SI"], 16)) + 1
+    m.gpr[f["RT"]] = _u(total)
+    m.ca = total >> 64 & 1
+
+
+@handler("Mulli")
+def _mulli(m: GoldenMachine, f):
+    m.gpr[f["RT"]] = _u(_sext(m.gpr[f["RA"]], 64) * _sext(f["SI"], 16))
+
+
+def _signed_add_overflow(a: int, b: int, r: int) -> int:
+    """Overflow of a 64-bit a+b(+carry) given the 64-bit truncated result."""
+    sa, sb, sr = (a >> 63) & 1, (b >> 63) & 1, (r >> 63) & 1
+    return 1 if (sa == sb and sr != sa) else 0
+
+
+def _register_addsub(name: str, transform_a, addend_b, carry_in):
+    """Shared implementation of the XO-form add/subtract family."""
+
+    @handler(name)
+    def _op(m: GoldenMachine, f):
+        a = transform_a(m.gpr[f["RA"]])
+        b = addend_b(m, f)
+        cin = carry_in(m)
+        total = a + b + cin
+        r = _u(total)
+        m.gpr[f["RT"]] = r
+        if name not in ("Add", "Subf", "Neg"):
+            m.ca = (total >> 64) & 1
+        if f.get("OE"):
+            m.set_ov(_signed_add_overflow(a, b, r))
+        if f.get("Rc"):
+            m.record(r)
+        return None
+
+    return _op
+
+
+_register_addsub("Add", lambda a: a, lambda m, f: m.gpr[f["RB"]], lambda m: 0)
+_register_addsub("Subf", lambda a: _u(~a), lambda m, f: m.gpr[f["RB"]], lambda m: 1)
+_register_addsub("Addc", lambda a: a, lambda m, f: m.gpr[f["RB"]], lambda m: 0)
+_register_addsub("Subfc", lambda a: _u(~a), lambda m, f: m.gpr[f["RB"]], lambda m: 1)
+_register_addsub("Adde", lambda a: a, lambda m, f: m.gpr[f["RB"]], lambda m: m.ca)
+_register_addsub("Subfe", lambda a: _u(~a), lambda m, f: m.gpr[f["RB"]], lambda m: m.ca)
+_register_addsub("Addme", lambda a: a, lambda m, f: MASK64, lambda m: m.ca)
+_register_addsub("Subfme", lambda a: _u(~a), lambda m, f: MASK64, lambda m: m.ca)
+_register_addsub("Addze", lambda a: a, lambda m, f: 0, lambda m: m.ca)
+_register_addsub("Subfze", lambda a: _u(~a), lambda m, f: 0, lambda m: m.ca)
+_register_addsub("Neg", lambda a: _u(~a), lambda m, f: 0, lambda m: 1)
+
+
+@handler("Mullw")
+def _mullw(m: GoldenMachine, f):
+    prod = _sext(m.gpr[f["RA"]], 32) * _sext(m.gpr[f["RB"]], 32)
+    r = _u(prod)
+    m.gpr[f["RT"]] = r
+    if f.get("OE"):
+        m.set_ov(0 if prod == _sext(r & MASK32, 32) else 1)
+    if f.get("Rc"):
+        m.record(r)
+
+
+@handler("Mulld")
+def _mulld(m: GoldenMachine, f):
+    prod = _sext(m.gpr[f["RA"]], 64) * _sext(m.gpr[f["RB"]], 64)
+    r = _u(prod)
+    m.gpr[f["RT"]] = r
+    if f.get("OE"):
+        m.set_ov(0 if prod == _sext(r, 64) else 1)
+    if f.get("Rc"):
+        m.record(r)
+
+
+def _register_mulh(name: str, signed: bool, word: bool):
+    @handler(name)
+    def _op(m: GoldenMachine, f):
+        if word:
+            a = _sext(m.gpr[f["RA"]], 32) if signed else m.gpr[f["RA"]] & MASK32
+            b = _sext(m.gpr[f["RB"]], 32) if signed else m.gpr[f["RB"]] & MASK32
+            high = (_u(a * b, 64) >> 32) & MASK32
+            m.gpr[f["RT"]] = (UNDEF_FILL32 << 32) | high
+        else:
+            a = _sext(m.gpr[f["RA"]], 64) if signed else m.gpr[f["RA"]]
+            b = _sext(m.gpr[f["RB"]], 64) if signed else m.gpr[f["RB"]]
+            m.gpr[f["RT"]] = (_u(a * b, 128) >> 64) & MASK64
+        if f.get("Rc"):
+            if word:
+                m.record_undefined()
+            else:
+                m.record(m.gpr[f["RT"]])
+        return None
+
+    return _op
+
+
+_register_mulh("Mulhw", True, True)
+_register_mulh("Mulhwu", False, True)
+_register_mulh("Mulhd", True, False)
+_register_mulh("Mulhdu", False, False)
+
+
+def _register_div(name: str, signed: bool, word: bool):
+    @handler(name)
+    def _op(m: GoldenMachine, f):
+        width = 32 if word else 64
+        mask = (1 << width) - 1
+        a_raw = m.gpr[f["RA"]] & mask
+        b_raw = m.gpr[f["RB"]] & mask
+        a = _sext(a_raw, width) if signed else a_raw
+        b = _sext(b_raw, width) if signed else b_raw
+        bad = b == 0 or (
+            signed and a == -(1 << (width - 1)) and b == -1
+        )
+        if bad:
+            quotient = UNDEF_FILL64 & mask
+        else:
+            q = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                q = -q
+            quotient = q & mask
+        if word:
+            m.gpr[f["RT"]] = (UNDEF_FILL32 << 32) | quotient
+        else:
+            m.gpr[f["RT"]] = quotient
+        if f.get("OE"):
+            m.set_ov(1 if bad else 0)
+        if f.get("Rc"):
+            if bad or word:
+                m.record_undefined()
+            else:
+                m.record(m.gpr[f["RT"]])
+        return None
+
+    return _op
+
+
+_register_div("Divw", True, True)
+_register_div("Divwu", False, True)
+_register_div("Divd", True, False)
+_register_div("Divdu", False, False)
+
+
+# ----------------------------------------------------------------------
+# Compare
+# ----------------------------------------------------------------------
+
+
+def _compare(m: GoldenMachine, bf: int, a: int, b: int) -> None:
+    flags = 0b100 if a < b else (0b010 if a > b else 0b001)
+    m.set_cr_field(bf, (flags << 1) | m.so)
+
+
+@handler("Cmp")
+def _cmp(m: GoldenMachine, f):
+    width = 64 if f["L"] else 32
+    _compare(
+        m,
+        f["BF"],
+        _sext(m.gpr[f["RA"]], width),
+        _sext(m.gpr[f["RB"]], width),
+    )
+
+
+@handler("Cmpl")
+def _cmpl(m: GoldenMachine, f):
+    mask = MASK64 if f["L"] else MASK32
+    _compare(m, f["BF"], m.gpr[f["RA"]] & mask, m.gpr[f["RB"]] & mask)
+
+
+@handler("Cmpi")
+def _cmpi(m: GoldenMachine, f):
+    width = 64 if f["L"] else 32
+    _compare(m, f["BF"], _sext(m.gpr[f["RA"]], width), _sext(f["SI"], 16))
+
+
+@handler("Cmpli")
+def _cmpli(m: GoldenMachine, f):
+    mask = MASK64 if f["L"] else MASK32
+    _compare(m, f["BF"], m.gpr[f["RA"]] & mask, f["UI"])
+
+
+# ----------------------------------------------------------------------
+# Logical
+# ----------------------------------------------------------------------
+
+
+def _register_dlogical(name: str, op, shifted: bool, record: bool):
+    @handler(name)
+    def _imm(m: GoldenMachine, f):
+        imm = f["UI"] << 16 if shifted else f["UI"]
+        r = _u(op(m.gpr[f["RS"]], imm))
+        m.gpr[f["RA"]] = r
+        if record:
+            m.record(r)
+        return None
+
+    return _imm
+
+
+_register_dlogical("AndiRecord", lambda a, b: a & b, False, True)
+_register_dlogical("AndisRecord", lambda a, b: a & b, True, True)
+_register_dlogical("Ori", lambda a, b: a | b, False, False)
+_register_dlogical("Oris", lambda a, b: a | b, True, False)
+_register_dlogical("Xori", lambda a, b: a ^ b, False, False)
+_register_dlogical("Xoris", lambda a, b: a ^ b, True, False)
+
+
+def _register_xlogical(name: str, op):
+    @handler(name)
+    def _op(m: GoldenMachine, f):
+        r = _u(op(m.gpr[f["RS"]], m.gpr[f["RB"]]))
+        m.gpr[f["RA"]] = r
+        if f.get("Rc"):
+            m.record(r)
+        return None
+
+    return _op
+
+
+_register_xlogical("And", lambda a, b: a & b)
+_register_xlogical("Or", lambda a, b: a | b)
+_register_xlogical("Xor", lambda a, b: a ^ b)
+_register_xlogical("Nand", lambda a, b: ~(a & b))
+_register_xlogical("Nor", lambda a, b: ~(a | b))
+_register_xlogical("Eqv", lambda a, b: ~(a ^ b))
+_register_xlogical("Andc", lambda a, b: a & ~b)
+_register_xlogical("Orc", lambda a, b: a | ~b)
+
+
+def _register_xunary(name: str, op):
+    @handler(name)
+    def _op(m: GoldenMachine, f):
+        r = _u(op(m.gpr[f["RS"]]))
+        m.gpr[f["RA"]] = r
+        if f.get("Rc"):
+            m.record(r)
+        return None
+
+    return _op
+
+
+def _clz(value: int, width: int) -> int:
+    for i in range(width):
+        if (value >> (width - 1 - i)) & 1:
+            return i
+    return width
+
+
+_register_xunary("Extsb", lambda s: _sext(s, 8))
+_register_xunary("Extsh", lambda s: _sext(s, 16))
+_register_xunary("Extsw", lambda s: _sext(s, 32))
+_register_xunary("Cntlzw", lambda s: _clz(s & MASK32, 32))
+_register_xunary("Cntlzd", lambda s: _clz(s, 64))
+
+
+@handler("Popcntb")
+def _popcntb(m: GoldenMachine, f):
+    s = m.gpr[f["RS"]]
+    r = 0
+    for i in range(8):
+        byte = (s >> (8 * i)) & 0xFF
+        r |= bin(byte).count("1") << (8 * i)
+    m.gpr[f["RA"]] = r
+
+
+# ----------------------------------------------------------------------
+# Rotates and shifts
+# ----------------------------------------------------------------------
+
+
+def _rot_word(m: GoldenMachine, f, amount: int) -> int:
+    s = m.gpr[f["RS"]] & MASK32
+    doubled = (s << 32) | s
+    return _rotl(doubled, amount, 64)
+
+
+@handler("Rlwinm")
+def _rlwinm(m: GoldenMachine, f):
+    r = _rot_word(m, f, f["SH"]) & _mask(f["MB"] + 32, f["ME"] + 32)
+    m.gpr[f["RA"]] = r
+    if f.get("Rc"):
+        m.record(r)
+
+
+@handler("Rlwnm")
+def _rlwnm(m: GoldenMachine, f):
+    amount = m.gpr[f["RB"]] & 0x1F
+    r = _rot_word(m, f, amount) & _mask(f["MB"] + 32, f["ME"] + 32)
+    m.gpr[f["RA"]] = r
+    if f.get("Rc"):
+        m.record(r)
+
+
+@handler("Rlwimi")
+def _rlwimi(m: GoldenMachine, f):
+    mask = _mask(f["MB"] + 32, f["ME"] + 32)
+    r = (_rot_word(m, f, f["SH"]) & mask) | (m.gpr[f["RA"]] & ~mask & MASK64)
+    m.gpr[f["RA"]] = r
+    if f.get("Rc"):
+        m.record(r)
+
+
+def _md_sh(f) -> int:
+    return (f["SHH"] << 5) | f["SHL"]
+
+
+def _md_mb(f) -> int:
+    return ((f["MBE"] & 1) << 5) | (f["MBE"] >> 1)
+
+
+def _register_rld(name: str, mask_of, insert: bool, reg_amount: bool):
+    @handler(name)
+    def _op(m: GoldenMachine, f):
+        amount = (m.gpr[f["RB"]] & 0x3F) if reg_amount else _md_sh(f)
+        rotated = _rotl(m.gpr[f["RS"]], amount, 64)
+        mask = mask_of(f, amount)
+        if insert:
+            r = (rotated & mask) | (m.gpr[f["RA"]] & ~mask & MASK64)
+        else:
+            r = rotated & mask
+        m.gpr[f["RA"]] = r
+        if f.get("Rc"):
+            m.record(r)
+        return None
+
+    return _op
+
+
+_register_rld("Rldicl", lambda f, n: _mask(_md_mb(f), 63), False, False)
+_register_rld("Rldicr", lambda f, n: _mask(0, _md_mb(f)), False, False)
+_register_rld("Rldic", lambda f, n: _mask(_md_mb(f), 63 - n), False, False)
+_register_rld("Rldimi", lambda f, n: _mask(_md_mb(f), 63 - n), True, False)
+_register_rld("Rldcl", lambda f, n: _mask(_md_mb(f), 63), False, True)
+_register_rld("Rldcr", lambda f, n: _mask(0, _md_mb(f)), False, True)
+
+
+@handler("Slw")
+def _slw(m: GoldenMachine, f):
+    rb = m.gpr[f["RB"]]
+    if (rb >> 5) & 1:
+        r = 0
+    else:
+        r = (m.gpr[f["RS"]] & MASK32) << (rb & 0x1F) & MASK32
+    m.gpr[f["RA"]] = r
+    if f.get("Rc"):
+        m.record(r)
+
+
+@handler("Srw")
+def _srw(m: GoldenMachine, f):
+    rb = m.gpr[f["RB"]]
+    if (rb >> 5) & 1:
+        r = 0
+    else:
+        r = (m.gpr[f["RS"]] & MASK32) >> (rb & 0x1F)
+    m.gpr[f["RA"]] = r
+    if f.get("Rc"):
+        m.record(r)
+
+
+def _sraw_common(m: GoldenMachine, f, amount: int, deep: bool) -> None:
+    s = _sext(m.gpr[f["RS"]], 32)
+    if deep:
+        r = -1 if s < 0 else 0
+        lost = s < 0
+    else:
+        r = s >> amount
+        lost = s < 0 and (s & ((1 << amount) - 1)) != 0
+    m.gpr[f["RA"]] = _u(r)
+    m.ca = 1 if lost else 0
+    if f.get("Rc"):
+        m.record(_u(r))
+
+
+@handler("Sraw")
+def _sraw(m: GoldenMachine, f):
+    rb = m.gpr[f["RB"]]
+    _sraw_common(m, f, rb & 0x1F, bool((rb >> 5) & 1))
+
+
+@handler("Srawi")
+def _srawi(m: GoldenMachine, f):
+    _sraw_common(m, f, f["SH"], False)
+
+
+@handler("Sld")
+def _sld(m: GoldenMachine, f):
+    rb = m.gpr[f["RB"]]
+    r = 0 if (rb >> 6) & 1 else _u(m.gpr[f["RS"]] << (rb & 0x3F))
+    m.gpr[f["RA"]] = r
+    if f.get("Rc"):
+        m.record(r)
+
+
+@handler("Srd")
+def _srd(m: GoldenMachine, f):
+    rb = m.gpr[f["RB"]]
+    r = 0 if (rb >> 6) & 1 else m.gpr[f["RS"]] >> (rb & 0x3F)
+    m.gpr[f["RA"]] = r
+    if f.get("Rc"):
+        m.record(r)
+
+
+def _srad_common(m: GoldenMachine, f, amount: int, deep: bool) -> None:
+    s = _sext(m.gpr[f["RS"]], 64)
+    if deep:
+        r = -1 if s < 0 else 0
+        lost = s < 0
+    else:
+        r = s >> amount
+        lost = s < 0 and (s & ((1 << amount) - 1)) != 0
+    m.gpr[f["RA"]] = _u(r)
+    m.ca = 1 if lost else 0
+    if f.get("Rc"):
+        m.record(_u(r))
+
+
+@handler("Srad")
+def _srad(m: GoldenMachine, f):
+    rb = m.gpr[f["RB"]]
+    _srad_common(m, f, rb & 0x3F, bool((rb >> 6) & 1))
+
+
+@handler("Sradi")
+def _sradi(m: GoldenMachine, f):
+    _srad_common(m, f, _md_sh(f), False)
+
+
+# ----------------------------------------------------------------------
+# CR logical and moves
+# ----------------------------------------------------------------------
+
+
+def _register_crop(name: str, op):
+    @handler(name)
+    def _cr(m: GoldenMachine, f):
+        a = m.cr_bit(f["BA"] + 32)
+        b = m.cr_bit(f["BB"] + 32)
+        m.set_cr_bit(f["BT"] + 32, op(a, b) & 1)
+        return None
+
+    return _cr
+
+
+_register_crop("Crand", lambda a, b: a & b)
+_register_crop("Cror", lambda a, b: a | b)
+_register_crop("Crxor", lambda a, b: a ^ b)
+_register_crop("Crnand", lambda a, b: ~(a & b))
+_register_crop("Crnor", lambda a, b: ~(a | b))
+_register_crop("Creqv", lambda a, b: ~(a ^ b))
+_register_crop("Crandc", lambda a, b: a & (~b & 1))
+_register_crop("Crorc", lambda a, b: a | (~b & 1))
+
+
+@handler("Mcrf")
+def _mcrf(m: GoldenMachine, f):
+    m.set_cr_field(f["BF"], m.cr_field(f["BFA"]))
+
+
+def _spr_number(raw: int) -> int:
+    return ((raw & 0x1F) << 5) | (raw >> 5)
+
+
+@handler("Mtspr")
+def _mtspr(m: GoldenMachine, f):
+    n = _spr_number(f["SPR"])
+    value = m.gpr[f["RS"]]
+    if n == 1:
+        m.xer = value & MASK32
+    elif n == 8:
+        m.lr = value
+    elif n == 9:
+        m.ctr = value
+    else:
+        raise GoldenError(f"mtspr to unsupported SPR {n}")
+
+
+@handler("Mfspr")
+def _mfspr(m: GoldenMachine, f):
+    n = _spr_number(f["SPR"])
+    if n == 1:
+        m.gpr[f["RT"]] = m.xer
+    elif n == 8:
+        m.gpr[f["RT"]] = m.lr
+    elif n == 9:
+        m.gpr[f["RT"]] = m.ctr
+    else:
+        raise GoldenError(f"mfspr from unsupported SPR {n}")
+
+
+@handler("Mtcrf")
+def _mtcrf(m: GoldenMachine, f):
+    value = m.gpr[f["RS"]] & MASK32
+    for i in range(8):
+        if (f["FXM"] >> (7 - i)) & 1:
+            shift = 4 * (7 - i)
+            m.set_cr_field(i, (value >> shift) & 0xF)
+
+
+HANDLERS["Mtocrf"] = HANDLERS["Mtcrf"]
+
+
+@handler("Mfcr")
+def _mfcr(m: GoldenMachine, f):
+    m.gpr[f["RT"]] = m.cr
+
+
+@handler("Mfocrf")
+def _mfocrf(m: GoldenMachine, f):
+    r = UNDEF_FILL64
+    for i in range(8):
+        if (f["FXM"] >> (7 - i)) & 1:
+            shift = 4 * (7 - i)
+            r &= ~(0xF << shift)
+            r |= m.cr_field(i) << shift
+    m.gpr[f["RT"]] = r
+
+
+# ----------------------------------------------------------------------
+# Barriers and atomics (sequential semantics)
+# ----------------------------------------------------------------------
+
+
+@handler("Sync")
+def _sync(m: GoldenMachine, f):
+    return None
+
+
+@handler("Eieio")
+def _eieio(m: GoldenMachine, f):
+    return None
+
+
+@handler("Isync")
+def _isync(m: GoldenMachine, f):
+    return None
+
+
+@handler("Lwarx")
+def _lwarx(m: GoldenMachine, f):
+    addr = _ea_x(m, f)
+    m.reservation = addr
+    m.gpr[f["RT"]] = m.load(addr, 4)
+
+
+@handler("Ldarx")
+def _ldarx(m: GoldenMachine, f):
+    addr = _ea_x(m, f)
+    m.reservation = addr
+    m.gpr[f["RT"]] = m.load(addr, 8)
+
+
+@handler("StwcxRecord")
+def _stwcx(m: GoldenMachine, f):
+    success = m.reservation is not None
+    if success:
+        m.store(_ea_x(m, f), 4, m.gpr[f["RS"]] & MASK32)
+    m.reservation = None
+    m.set_cr_field(0, ((1 if success else 0) << 1) | m.so)
+
+
+@handler("StdcxRecord")
+def _stdcx(m: GoldenMachine, f):
+    success = m.reservation is not None
+    if success:
+        m.store(_ea_x(m, f), 8, m.gpr[f["RS"]])
+    m.reservation = None
+    m.set_cr_field(0, ((1 if success else 0) << 1) | m.so)

@@ -1,0 +1,25 @@
+"""The POWER ISA model: encodings, Sail pseudocode, codecs, execution."""
+
+from .model import DecodedInstruction, DecodeError, IsaModel, default_model
+from .registers import Registry, power_registry
+from .spec import DecodeTable, EncodingError, InstructionSpec
+from .assembler import Assembler, AssemblerError
+from .disasm import disassemble
+from .sequential import SequentialMachine, SequentialError
+
+__all__ = [
+    "Assembler",
+    "AssemblerError",
+    "DecodeError",
+    "DecodeTable",
+    "DecodedInstruction",
+    "EncodingError",
+    "InstructionSpec",
+    "IsaModel",
+    "Registry",
+    "SequentialError",
+    "SequentialMachine",
+    "default_model",
+    "disassemble",
+    "power_registry",
+]

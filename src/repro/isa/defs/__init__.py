@@ -1,0 +1,24 @@
+"""The POWER instruction corpus: encodings + Sail pseudocode.
+
+``ALL_SPECS`` collects every instruction specification; ``repro.isa.model``
+parses and type-checks the pseudocode and builds the decode table.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..spec import InstructionSpec
+from . import arithmetic, barriers, branch, crops, loadstore, logical, rotate_shift
+
+ALL_SPECS: List[InstructionSpec] = (
+    list(branch.SPECS)
+    + list(loadstore.SPECS)
+    + list(arithmetic.SPECS)
+    + list(logical.SPECS)
+    + list(rotate_shift.SPECS)
+    + list(crops.SPECS)
+    + list(barriers.SPECS)
+)
+
+__all__ = ["ALL_SPECS"]

@@ -1,0 +1,468 @@
+"""Fixed-point arithmetic instructions (Power ISA 2.06B chapter 3.3.9).
+
+Each XO-form entry carries OE and Rc operand bits, so the four documented
+variants (e.g. add / add. / addo / addo.) share one underlying instruction,
+matching the paper's counting convention (section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..spec import InstructionSpec, spec
+from .common import CR0_RECORD, OV_ADD, execute_clause
+
+SPECS: List[InstructionSpec] = []
+
+
+def _add(s: InstructionSpec) -> None:
+    SPECS.append(s)
+
+
+def _record(result: str) -> str:
+    return CR0_RECORD.format(r=result)
+
+
+def _overflow(a: str, b: str, r: str) -> str:
+    return OV_ADD.format(a=a, b=b, r=r)
+
+
+# ----------------------------------------------------------------------
+# D-form immediate arithmetic
+# ----------------------------------------------------------------------
+
+_add(
+    spec(
+        "Addi",
+        "addi",
+        "D",
+        "fixed-point",
+        "14 RT:5 RA:5 SI:16",
+        "RT, RA, SI",
+        execute_clause(
+            "Addi",
+            "RT, RA, SI",
+            "if RA == 0 then GPR[RT] := EXTS(SI) else GPR[RT] := GPR[RA] + EXTS(SI)",
+        ),
+        category="arithmetic",
+    )
+)
+
+_add(
+    spec(
+        "Addis",
+        "addis",
+        "D",
+        "fixed-point",
+        "15 RT:5 RA:5 SI:16",
+        "RT, RA, SI",
+        execute_clause(
+            "Addis",
+            "RT, RA, SI",
+            "if RA == 0 then GPR[RT] := EXTS(SI : 0x0000) "
+            "else GPR[RT] := GPR[RA] + EXTS(SI : 0x0000)",
+        ),
+        category="arithmetic",
+    )
+)
+
+_add(
+    spec(
+        "Addic",
+        "addic",
+        "D",
+        "fixed-point",
+        "12 RT:5 RA:5 SI:16",
+        "RT, RA, SI",
+        execute_clause(
+            "Addic",
+            "RT, RA, SI",
+            "(bit[65]) sum := EXTZ(65, GPR[RA]) + EXTZ(65, EXTS(SI));\n"
+            "  GPR[RT] := sum[1..64];\n"
+            "  XER.CA := sum[0]",
+        ),
+        category="arithmetic",
+    )
+)
+
+_add(
+    spec(
+        "AddicRecord",
+        "addic.",
+        "D",
+        "fixed-point",
+        "13 RT:5 RA:5 SI:16",
+        "RT, RA, SI",
+        execute_clause(
+            "AddicRecord",
+            "RT, RA, SI",
+            "(bit[65]) sum := EXTZ(65, GPR[RA]) + EXTZ(65, EXTS(SI));\n"
+            "  (bit[64]) r := sum[1..64];\n"
+            "  GPR[RT] := r;\n"
+            "  XER.CA := sum[0];\n"
+            "  (bit[1]) eq0 := r == EXTZ(64, 0b0);\n"
+            "  CR[32..35] := (r[0]) : (~r[0] & ~eq0) : eq0 : XER.SO",
+        ),
+        category="arithmetic",
+    )
+)
+
+_add(
+    spec(
+        "Subfic",
+        "subfic",
+        "D",
+        "fixed-point",
+        "8 RT:5 RA:5 SI:16",
+        "RT, RA, SI",
+        execute_clause(
+            "Subfic",
+            "RT, RA, SI",
+            "(bit[65]) sum := EXTZ(65, ~GPR[RA]) + EXTZ(65, EXTS(SI)) + EXTZ(65, 0b1);\n"
+            "  GPR[RT] := sum[1..64];\n"
+            "  XER.CA := sum[0]",
+        ),
+        category="arithmetic",
+    )
+)
+
+_add(
+    spec(
+        "Mulli",
+        "mulli",
+        "D",
+        "fixed-point",
+        "7 RT:5 RA:5 SI:16",
+        "RT, RA, SI",
+        execute_clause("Mulli", "RT, RA, SI", "GPR[RT] := GPR[RA] * EXTS(SI)"),
+        category="arithmetic",
+    )
+)
+
+# ----------------------------------------------------------------------
+# XO-form add/subtract (with OE and Rc variant bits)
+# ----------------------------------------------------------------------
+
+
+def _xo(name, mnemonic, xo, body, syntax="RT, RA, RB", fields="RT, RA, RB",
+        layout=None, invalid_when=None):
+    _add(
+        spec(
+            name,
+            mnemonic,
+            "XO",
+            "fixed-point",
+            layout or f"31 RT:5 RA:5 RB:5 OE:1 {xo}:9 Rc:1",
+            syntax,
+            execute_clause(name, fields, body),
+            invalid_when=invalid_when,
+            category="arithmetic",
+        )
+    )
+
+
+_xo(
+    "Add",
+    "add",
+    266,
+    "(bit[64]) a := GPR[RA];\n"
+    "  (bit[64]) b := GPR[RB];\n"
+    "  (bit[64]) r := a + b;\n"
+    "  GPR[RT] := r;\n"
+    f"  {_overflow('a', 'b', 'r')};\n"
+    f"  {_record('r')}",
+)
+
+# subf of a register from itself is exactly zero even over undef bits
+# (same-register reads see one concrete value); like xor, this keeps the
+# dependency idiom "subf rX,rY,rY" usable for artificial dependencies.
+_xo(
+    "Subf",
+    "subf",
+    40,
+    "(bit[64]) a := ~GPR[RA];\n"
+    "  (bit[64]) b := GPR[RB];\n"
+    "  (bit[64]) r := a + b + EXTZ(64, 0b1);\n"
+    "  if RA == RB then r := EXTZ(64, 0b0) & b;\n"
+    "  GPR[RT] := r;\n"
+    f"  {_overflow('a', 'b', 'r')};\n"
+    f"  {_record('r')}",
+)
+
+_xo(
+    "Addc",
+    "addc",
+    10,
+    "(bit[64]) a := GPR[RA];\n"
+    "  (bit[64]) b := GPR[RB];\n"
+    "  (bit[65]) sum := EXTZ(65, a) + EXTZ(65, b);\n"
+    "  (bit[64]) r := sum[1..64];\n"
+    "  GPR[RT] := r;\n"
+    "  XER.CA := sum[0];\n"
+    f"  {_overflow('a', 'b', 'r')};\n"
+    f"  {_record('r')}",
+)
+
+_xo(
+    "Subfc",
+    "subfc",
+    8,
+    "(bit[64]) a := ~GPR[RA];\n"
+    "  (bit[64]) b := GPR[RB];\n"
+    "  (bit[65]) sum := EXTZ(65, a) + EXTZ(65, b) + EXTZ(65, 0b1);\n"
+    "  (bit[64]) r := sum[1..64];\n"
+    "  GPR[RT] := r;\n"
+    "  XER.CA := sum[0];\n"
+    f"  {_overflow('a', 'b', 'r')};\n"
+    f"  {_record('r')}",
+)
+
+_xo(
+    "Adde",
+    "adde",
+    138,
+    "(bit[64]) a := GPR[RA];\n"
+    "  (bit[64]) b := GPR[RB];\n"
+    "  (bit[65]) sum := EXTZ(65, a) + EXTZ(65, b) + EXTZ(65, XER.CA);\n"
+    "  (bit[64]) r := sum[1..64];\n"
+    "  GPR[RT] := r;\n"
+    "  XER.CA := sum[0];\n"
+    f"  {_overflow('a', 'b', 'r')};\n"
+    f"  {_record('r')}",
+)
+
+_xo(
+    "Subfe",
+    "subfe",
+    136,
+    "(bit[64]) a := ~GPR[RA];\n"
+    "  (bit[64]) b := GPR[RB];\n"
+    "  (bit[65]) sum := EXTZ(65, a) + EXTZ(65, b) + EXTZ(65, XER.CA);\n"
+    "  (bit[64]) r := sum[1..64];\n"
+    "  GPR[RT] := r;\n"
+    "  XER.CA := sum[0];\n"
+    f"  {_overflow('a', 'b', 'r')};\n"
+    f"  {_record('r')}",
+)
+
+_xo(
+    "Addme",
+    "addme",
+    234,
+    "(bit[64]) a := GPR[RA];\n"
+    "  (bit[64]) b := ~EXTZ(64, 0b0);\n"
+    "  (bit[65]) sum := EXTZ(65, a) + EXTZ(65, b) + EXTZ(65, XER.CA);\n"
+    "  (bit[64]) r := sum[1..64];\n"
+    "  GPR[RT] := r;\n"
+    "  XER.CA := sum[0];\n"
+    f"  {_overflow('a', 'b', 'r')};\n"
+    f"  {_record('r')}",
+    syntax="RT, RA",
+    fields="RT, RA",
+    layout="31 RT:5 RA:5 0:5 OE:1 234:9 Rc:1",
+)
+
+_xo(
+    "Subfme",
+    "subfme",
+    232,
+    "(bit[64]) a := ~GPR[RA];\n"
+    "  (bit[64]) b := ~EXTZ(64, 0b0);\n"
+    "  (bit[65]) sum := EXTZ(65, a) + EXTZ(65, b) + EXTZ(65, XER.CA);\n"
+    "  (bit[64]) r := sum[1..64];\n"
+    "  GPR[RT] := r;\n"
+    "  XER.CA := sum[0];\n"
+    f"  {_overflow('a', 'b', 'r')};\n"
+    f"  {_record('r')}",
+    syntax="RT, RA",
+    fields="RT, RA",
+    layout="31 RT:5 RA:5 0:5 OE:1 232:9 Rc:1",
+)
+
+_xo(
+    "Addze",
+    "addze",
+    202,
+    "(bit[64]) a := GPR[RA];\n"
+    "  (bit[64]) b := EXTZ(64, 0b0);\n"
+    "  (bit[65]) sum := EXTZ(65, a) + EXTZ(65, XER.CA);\n"
+    "  (bit[64]) r := sum[1..64];\n"
+    "  GPR[RT] := r;\n"
+    "  XER.CA := sum[0];\n"
+    f"  {_overflow('a', 'b', 'r')};\n"
+    f"  {_record('r')}",
+    syntax="RT, RA",
+    fields="RT, RA",
+    layout="31 RT:5 RA:5 0:5 OE:1 202:9 Rc:1",
+)
+
+_xo(
+    "Subfze",
+    "subfze",
+    200,
+    "(bit[64]) a := ~GPR[RA];\n"
+    "  (bit[64]) b := EXTZ(64, 0b0);\n"
+    "  (bit[65]) sum := EXTZ(65, a) + EXTZ(65, XER.CA);\n"
+    "  (bit[64]) r := sum[1..64];\n"
+    "  GPR[RT] := r;\n"
+    "  XER.CA := sum[0];\n"
+    f"  {_overflow('a', 'b', 'r')};\n"
+    f"  {_record('r')}",
+    syntax="RT, RA",
+    fields="RT, RA",
+    layout="31 RT:5 RA:5 0:5 OE:1 200:9 Rc:1",
+)
+
+_xo(
+    "Neg",
+    "neg",
+    104,
+    "(bit[64]) a := ~GPR[RA];\n"
+    "  (bit[64]) b := EXTZ(64, 0b0);\n"
+    "  (bit[64]) r := a + EXTZ(64, 0b1);\n"
+    "  GPR[RT] := r;\n"
+    "  if OE == 1 then { (bit[1]) ov := (a[0] == 0b0) & (r[0] != a[0]); "
+    "XER.OV := ov; XER.SO := XER.SO | ov };\n"
+    f"  {_record('r')}",
+    syntax="RT, RA",
+    fields="RT, RA",
+    layout="31 RT:5 RA:5 0:5 OE:1 104:9 Rc:1",
+)
+
+# ----------------------------------------------------------------------
+# Multiply
+# ----------------------------------------------------------------------
+
+_xo(
+    "Mullw",
+    "mullw",
+    235,
+    "(bit[64]) prod := MULTIPLY_S(64, (GPR[RA])[32..63], (GPR[RB])[32..63]);\n"
+    "  GPR[RT] := prod;\n"
+    "  if OE == 1 then { (bit[1]) ov := ~(prod == EXTS(64, prod[32..63])); "
+    "XER.OV := ov; XER.SO := XER.SO | ov };\n"
+    f"  {_record('prod')}",
+)
+
+_xo(
+    "Mulld",
+    "mulld",
+    233,
+    "(bit[128]) prod := MULTIPLY_S(128, GPR[RA], GPR[RB]);\n"
+    "  (bit[64]) r := prod[64..127];\n"
+    "  GPR[RT] := r;\n"
+    "  if OE == 1 then { (bit[1]) ov := ~(prod == EXTS(128, r)); "
+    "XER.OV := ov; XER.SO := XER.SO | ov };\n"
+    f"  {_record('r')}",
+)
+
+# mulhw-family results leave the high 32 bits of RT undefined (the paper's
+# section 2.1.7 example of undefined values).
+_MULH = [
+    ("Mulhw", "mulhw", 75, True, 4),
+    ("Mulhwu", "mulhwu", 11, False, 4),
+    ("Mulhd", "mulhd", 73, True, 8),
+    ("Mulhdu", "mulhdu", 9, False, 8),
+]
+
+for name, mnemonic, xo, signed, size in _MULH:
+    mult = "MULTIPLY_S" if signed else "MULTIPLY_U"
+    if size == 4:
+        body = (
+            f"(bit[64]) prod := {mult}(64, (GPR[RA])[32..63], (GPR[RB])[32..63]);\n"
+            "  (bit[64]) r := UNDEFINED(32) : prod[0..31];\n"
+            "  GPR[RT] := r;\n"
+            "  if Rc == 1 then CR[32..35] := UNDEFINED(3) : XER.SO"
+        )
+    else:
+        body = (
+            f"(bit[128]) prod := {mult}(128, GPR[RA], GPR[RB]);\n"
+            "  (bit[64]) r := prod[0..63];\n"
+            "  GPR[RT] := r;\n"
+            f"  {_record('r')}"
+        )
+    _add(
+        spec(
+            name,
+            mnemonic,
+            "XO",
+            "fixed-point",
+            f"31 RT:5 RA:5 RB:5 0:1 {xo}:9 Rc:1",
+            "RT, RA, RB",
+            execute_clause(name, "RT, RA, RB", body),
+            category="arithmetic",
+        )
+    )
+
+# ----------------------------------------------------------------------
+# Divide (quotient undefined on divide-by-zero / overflow; OV reports it)
+# ----------------------------------------------------------------------
+
+_DIVW_OV = (
+    "if OE == 1 then { "
+    "(bit[1]) ov := (b == 0x00000000) "
+    "| ((a == 0x80000000) & (b == 0xFFFFFFFF)); "
+    "XER.OV := ov; XER.SO := XER.SO | ov }"
+)
+
+_DIVD_OV = (
+    "if OE == 1 then { "
+    "(bit[1]) ov := (b == EXTZ(64, 0b0)) "
+    "| ((a == 0x8000000000000000) & (b == 0xFFFFFFFFFFFFFFFF)); "
+    "XER.OV := ov; XER.SO := XER.SO | ov }"
+)
+
+_DIVW_OVU = (
+    "if OE == 1 then { "
+    "(bit[1]) ov := b == 0x00000000; "
+    "XER.OV := ov; XER.SO := XER.SO | ov }"
+)
+
+_DIVD_OVU = (
+    "if OE == 1 then { "
+    "(bit[1]) ov := b == EXTZ(64, 0b0); "
+    "XER.OV := ov; XER.SO := XER.SO | ov }"
+)
+
+_DIVS = [
+    ("Divw", "divw", 491, "DIVS", 4, _DIVW_OV),
+    ("Divwu", "divwu", 459, "DIVU", 4, _DIVW_OVU),
+    ("Divd", "divd", 489, "DIVS", 8, _DIVD_OV),
+    ("Divdu", "divdu", 457, "DIVU", 8, _DIVD_OVU),
+]
+
+for name, mnemonic, xo, op, size, ov in _DIVS:
+    # Operands are read once into locals before GPR[RT] is written: the
+    # overflow check must not re-read a register the instruction may just
+    # have overwritten (RT == RA/RB forms; the section 2.1.3 rewrite).
+    if size == 4:
+        body = (
+            "(bit[32]) a := (GPR[RA])[32..63];\n"
+            "  (bit[32]) b := (GPR[RB])[32..63];\n"
+            f"  (bit[32]) q := {op}(a, b);\n"
+            "  (bit[64]) r := UNDEFINED(32) : q;\n"
+            "  GPR[RT] := r;\n"
+            f"  {ov};\n"
+            "  if Rc == 1 then CR[32..35] := UNDEFINED(3) : XER.SO"
+        )
+    else:
+        body = (
+            "(bit[64]) a := GPR[RA];\n"
+            "  (bit[64]) b := GPR[RB];\n"
+            f"  (bit[64]) r := {op}(a, b);\n"
+            "  GPR[RT] := r;\n"
+            f"  {ov};\n"
+            "  if Rc == 1 then CR[32..35] := UNDEFINED(3) : XER.SO"
+        )
+    _add(
+        spec(
+            name,
+            mnemonic,
+            "XO",
+            "fixed-point",
+            f"31 RT:5 RA:5 RB:5 OE:1 {xo}:9 Rc:1",
+            "RT, RA, RB",
+            execute_clause(name, "RT, RA, RB", body),
+            category="arithmetic",
+        )
+    )

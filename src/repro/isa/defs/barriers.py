@@ -1,0 +1,145 @@
+"""Memory barriers and load-reserve/store-conditional instructions.
+
+Barriers come from Book II chapter 4 (sync/lwsync/eieio/isync); the Sail
+semantics simply signals the corresponding event to the concurrency model
+(section 4.1 of the paper).  lwarx/stwcx. and ldarx/stdcx. provide the
+atomic read-modify-write primitives; the store-conditional's success flag is
+supplied *by* the concurrency model through the Write_mem-conditional
+outcome's continuation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..spec import InstructionSpec, spec
+from .common import EA_X, execute_clause
+
+SPECS: List[InstructionSpec] = []
+
+
+def _add(s: InstructionSpec) -> None:
+    SPECS.append(s)
+
+
+# sync L=0 is the heavyweight sync; L=1 is lwsync (the extended mnemonic).
+_add(
+    spec(
+        "Sync",
+        "sync",
+        "X",
+        "barrier",
+        "31 0:3 L:2 0:10 598:10 0:1",
+        "L",
+        execute_clause(
+            "Sync",
+            "L",
+            "if L == 0 then BARRIER_SYNC() else BARRIER_LWSYNC()",
+        ),
+        invalid_when="L not in (0, 1)",
+        category="barrier",
+    )
+)
+
+_add(
+    spec(
+        "Eieio",
+        "eieio",
+        "X",
+        "barrier",
+        "31 0:15 854:10 0:1",
+        "",
+        execute_clause("Eieio", "", "BARRIER_EIEIO()"),
+        category="barrier",
+    )
+)
+
+_add(
+    spec(
+        "Isync",
+        "isync",
+        "XL",
+        "barrier",
+        "19 0:15 150:10 0:1",
+        "",
+        execute_clause("Isync", "", "BARRIER_ISYNC()"),
+        category="barrier",
+    )
+)
+
+# ----------------------------------------------------------------------
+# Load-reserve / store-conditional
+# ----------------------------------------------------------------------
+
+_add(
+    spec(
+        "Lwarx",
+        "lwarx",
+        "X",
+        "atomic",
+        "31 RT:5 RA:5 RB:5 20:10 0:1",
+        "RT, RA, RB",
+        execute_clause(
+            "Lwarx",
+            "RT, RA, RB",
+            f"{EA_X};\n  GPR[RT] := EXTZ(64, MEMr_reserve(EA, 4))",
+        ),
+        category="atomic",
+    )
+)
+
+_add(
+    spec(
+        "Ldarx",
+        "ldarx",
+        "X",
+        "atomic",
+        "31 RT:5 RA:5 RB:5 84:10 0:1",
+        "RT, RA, RB",
+        execute_clause(
+            "Ldarx",
+            "RT, RA, RB",
+            f"{EA_X};\n  GPR[RT] := MEMr_reserve(EA, 8)",
+        ),
+        category="atomic",
+    )
+)
+
+_add(
+    spec(
+        "StwcxRecord",
+        "stwcx.",
+        "X",
+        "atomic",
+        "31 RS:5 RA:5 RB:5 150:10 1:1",
+        "RS, RA, RB",
+        execute_clause(
+            "StwcxRecord",
+            "RS, RA, RB",
+            f"{EA_X};\n"
+            "  (bit[1]) success := "
+            "STORE_CONDITIONAL(EA, 4, (GPR[RS])[32..63]);\n"
+            "  CR[32..35] := 0b00 : success : XER.SO",
+        ),
+        category="atomic",
+    )
+)
+
+_add(
+    spec(
+        "StdcxRecord",
+        "stdcx.",
+        "X",
+        "atomic",
+        "31 RS:5 RA:5 RB:5 214:10 1:1",
+        "RS, RA, RB",
+        execute_clause(
+            "StdcxRecord",
+            "RS, RA, RB",
+            f"{EA_X};\n"
+            "  (bit[1]) success := STORE_CONDITIONAL(EA, 8, GPR[RS]);\n"
+            "  CR[32..35] := 0b00 : success : XER.SO",
+        ),
+        category="atomic",
+    )
+)

@@ -1,0 +1,121 @@
+"""Branch facility instructions (Power ISA 2.06B chapter 2.4).
+
+The pseudocode reads and writes the CIA/NIA pseudo-registers; the thread
+model treats those specially so they create no dependencies (section 2.1.4).
+Conditional logic is written so that the CR bit is only read when BO[0]=0
+and CTR only touched when BO[2]=0 -- otherwise "branch always" forms would
+acquire false register dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..spec import InstructionSpec, spec
+from .common import execute_clause
+
+SPECS: List[InstructionSpec] = []
+
+
+def _add(s: InstructionSpec) -> None:
+    SPECS.append(s)
+
+
+_add(
+    spec(
+        "B",
+        "b",
+        "I",
+        "branch",
+        "18 LI:24 AA:1 LK:1",
+        "target",
+        execute_clause(
+            "B",
+            "LI, AA, LK",
+            "if AA == 1 then NIA := EXTS(LI : 0b00) "
+            "else NIA := CIA + EXTS(LI : 0b00);\n"
+            "  if LK == 1 then LR := CIA + EXTZ(64, 0b100)",
+        ),
+        category="branch",
+    )
+)
+
+#: Shared BO-field condition logic: ctr_ok and cond_ok as in the manual,
+#: but with the CTR/CR accesses guarded so footprints stay minimal.
+_BO_CONDITION = (
+    "(bit[1]) ctr_ok := 0b1;\n"
+    "  if BO[2] == 0b0 then {{\n"
+    "    (bit[64]) ctr := CTR - EXTZ(64, 0b1);\n"
+    "    CTR := ctr;\n"
+    "    ctr_ok := if (ctr == EXTZ(64, 0b0)) == BO[3] then 0b1 else 0b0\n"
+    "  }};\n"
+    "  (bit[1]) cond_ok := 0b1;\n"
+    "  if BO[0] == 0b0 then "
+    "cond_ok := if CR[to_num(BI)+32] == BO[1] then 0b1 else 0b0"
+)
+
+_add(
+    spec(
+        "Bc",
+        "bc",
+        "B",
+        "branch",
+        "16 BO:5 BI:5 BD:14 AA:1 LK:1",
+        "BO, BI, target",
+        execute_clause(
+            "Bc",
+            "BO, BI, BD, AA, LK",
+            _BO_CONDITION.format()
+            + ";\n"
+            "  if (ctr_ok & cond_ok) == 0b1 then {\n"
+            "    if AA == 1 then NIA := EXTS(BD : 0b00) "
+            "else NIA := CIA + EXTS(BD : 0b00)\n"
+            "  };\n"
+            "  if LK == 1 then LR := CIA + EXTZ(64, 0b100)",
+        ),
+        category="branch",
+    )
+)
+
+_add(
+    spec(
+        "Bclr",
+        "bclr",
+        "XL",
+        "branch",
+        "19 BO:5 BI:5 0:3 BH:2 16:10 LK:1",
+        "BO, BI",
+        execute_clause(
+            "Bclr",
+            "BO, BI, BH, LK",
+            _BO_CONDITION.format()
+            + ";\n"
+            "  if (ctr_ok & cond_ok) == 0b1 then NIA := LR[0..61] : 0b00;\n"
+            "  if LK == 1 then LR := CIA + EXTZ(64, 0b100)",
+        ),
+        category="branch",
+    )
+)
+
+_add(
+    spec(
+        "Bcctr",
+        "bcctr",
+        "XL",
+        "branch",
+        "19 BO:5 BI:5 0:3 BH:2 528:10 LK:1",
+        "BO, BI",
+        execute_clause(
+            "Bcctr",
+            "BO, BI, BH, LK",
+            "(bit[1]) cond_ok := 0b1;\n"
+            "  if BO[0] == 0b0 then "
+            "cond_ok := if CR[to_num(BI)+32] == BO[1] then 0b1 else 0b0;\n"
+            "  if cond_ok == 0b1 then NIA := CTR[0..61] : 0b00;\n"
+            "  if LK == 1 then LR := CIA + EXTZ(64, 0b100)",
+        ),
+        # Decrement-and-branch forms are invalid for bcctr.
+        invalid_when="(BO & 0b00100) == 0",
+        category="branch",
+    )
+)

@@ -1,0 +1,82 @@
+"""Shared pseudocode fragments for the instruction corpus.
+
+The vendor manual describes record-form (``Rc``) CR0 setting and overflow
+(``OE``) handling in prose rather than pseudocode; the paper notes these had
+to be patched in during extraction (section 4).  We encode them once here as
+textual fragments spliced into each instruction's Sail source.
+"""
+
+from __future__ import annotations
+
+ZERO64 = "EXTZ(64, 0b0)"
+
+#: CR0 <- LT/GT/EQ of the 64-bit result, with SO copied from XER (prose
+#: rule).  Branch-free formulation: LT is the sign bit, EQ is the zero test,
+#: GT the remainder -- so results with undef bits (mulhw, divw) yield undef
+#: CR0 bits instead of an execution error (section 2.1.7 lifting).
+CR0_RECORD = (
+    "if Rc == 1 then {{ "
+    "(bit[1]) eq0 := {r} == EXTZ(64, 0b0); "
+    "CR[32..35] := ({r}[0]) : (~{r}[0] & ~eq0) : eq0 : XER.SO }}"
+)
+
+#: Unconditional CR0 setting (andi., andis., addic. record forms).
+CR0_ALWAYS = (
+    "(bit[1]) eq0 := {r} == EXTZ(64, 0b0); "
+    "CR[32..35] := ({r}[0]) : (~{r}[0] & ~eq0) : eq0 : XER.SO"
+)
+
+#: Signed-overflow detection for {r} := {a} + {b} (+ carry-in), prose rule:
+#: OV when the addends' signs agree and the result's sign differs.
+OV_ADD = (
+    "if OE == 1 then {{ "
+    "(bit[1]) ov := ({a}[0] == {b}[0]) & ({r}[0] != {a}[0]); "
+    "XER.OV := ov; XER.SO := XER.SO | ov }}"
+)
+
+#: Effective-address computation: (RA|0) + EXTS(D)  (D-form).
+EA_D = (
+    "(bit[64]) b := 0; "
+    "if RA == 0 then b := 0 else b := GPR[RA]; "
+    "(bit[64]) EA := b + EXTS(D)"
+)
+
+#: Effective-address computation: (RA|0) + EXTS(DS || 0b00)  (DS-form).
+EA_DS = (
+    "(bit[64]) b := 0; "
+    "if RA == 0 then b := 0 else b := GPR[RA]; "
+    "(bit[64]) EA := b + EXTS(DS : 0b00)"
+)
+
+#: Effective-address computation: (RA|0) + (RB)  (X-form).
+EA_X = (
+    "(bit[64]) b := 0; "
+    "if RA == 0 then b := 0 else b := GPR[RA]; "
+    "(bit[64]) EA := b + GPR[RB]"
+)
+
+#: Update-form addresses (RA must not be 0; checked by invalid_when).
+EA_D_UPDATE = "(bit[64]) EA := GPR[RA] + EXTS(D)"
+EA_DS_UPDATE = "(bit[64]) EA := GPR[RA] + EXTS(DS : 0b00)"
+EA_X_UPDATE = "(bit[64]) EA := GPR[RA] + GPR[RB]"
+
+
+def gpr_slice(size: int) -> str:
+    """The low ``size`` bytes of GPR[RS], as stored by stb/sth/stw/std."""
+    if size == 8:
+        return "GPR[RS]"
+    lo = 64 - 8 * size
+    return f"(GPR[RS])[{lo}..63]"
+
+
+def load_extend(size: int, signed: bool) -> str:
+    """Wrap a memory-read result to 64 bits (zero- or sign-extending)."""
+    op = "EXTS" if signed else "EXTZ"
+    return f"{op}(64, MEMr(EA, {size}))"
+
+
+def execute_clause(name: str, fields: str, body: str) -> str:
+    """Assemble a full ``function clause execute`` definition."""
+    if fields:
+        return f"function clause execute ({name} ({fields})) =\n{{ {body} }}"
+    return f"function clause execute ({name}) =\n{{ {body} }}"

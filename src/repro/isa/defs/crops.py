@@ -1,0 +1,290 @@
+"""Compare instructions, condition-register logic, and CR/SPR moves.
+
+These are where the register-granularity questions of section 2.1.4 live:
+CR-logical instructions and ``mtocrf``/``mfocrf`` read and write individual
+CR bits / 4-bit fields, and the model's bit-granular register slices make
+``MP+sync+addr-cr`` architecturally allowed, matching hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..spec import InstructionSpec, spec
+from .common import execute_clause
+
+SPECS: List[InstructionSpec] = []
+
+
+def _add(s: InstructionSpec) -> None:
+    SPECS.append(s)
+
+
+# ----------------------------------------------------------------------
+# Compares (the cmp pseudocode appears in the paper's Fig. 3 screenshot)
+# ----------------------------------------------------------------------
+
+_CMP_TAIL = (
+    "  (bit[3]) c := 0b000;\n"
+    "  if a {lt} b then c := 0b100 else if a {gt} b then c := 0b010 "
+    "else c := 0b001;\n"
+    "  CR[4*to_num(BF)+32 .. 4*to_num(BF)+35] := c : XER.SO"
+)
+
+_add(
+    spec(
+        "Cmp",
+        "cmp",
+        "X",
+        "fixed-point",
+        "31 BF:3 0:1 L:1 RA:5 RB:5 0:10 0:1",
+        "BF, L, RA, RB",
+        execute_clause(
+            "Cmp",
+            "BF, L, RA, RB",
+            "(bit[64]) a := 0;\n"
+            "  (bit[64]) b := 0;\n"
+            "  if L == 0 then { a := EXTS(64, (GPR[RA])[32..63]); "
+            "b := EXTS(64, (GPR[RB])[32..63]) } "
+            "else { a := GPR[RA]; b := GPR[RB] };\n"
+            + _CMP_TAIL.format(lt="<", gt=">"),
+        ),
+        category="compare",
+    )
+)
+
+_add(
+    spec(
+        "Cmpl",
+        "cmpl",
+        "X",
+        "fixed-point",
+        "31 BF:3 0:1 L:1 RA:5 RB:5 32:10 0:1",
+        "BF, L, RA, RB",
+        execute_clause(
+            "Cmpl",
+            "BF, L, RA, RB",
+            "(bit[64]) a := 0;\n"
+            "  (bit[64]) b := 0;\n"
+            "  if L == 0 then { a := EXTZ(64, (GPR[RA])[32..63]); "
+            "b := EXTZ(64, (GPR[RB])[32..63]) } "
+            "else { a := GPR[RA]; b := GPR[RB] };\n"
+            + _CMP_TAIL.format(lt="<u", gt=">u"),
+        ),
+        category="compare",
+    )
+)
+
+_add(
+    spec(
+        "Cmpi",
+        "cmpi",
+        "D",
+        "fixed-point",
+        "11 BF:3 0:1 L:1 RA:5 SI:16",
+        "BF, L, RA, SI",
+        execute_clause(
+            "Cmpi",
+            "BF, L, RA, SI",
+            "(bit[64]) a := 0;\n"
+            "  if L == 0 then a := EXTS(64, (GPR[RA])[32..63]) "
+            "else a := GPR[RA];\n"
+            "  (bit[64]) b := EXTS(SI);\n"
+            + _CMP_TAIL.format(lt="<", gt=">"),
+        ),
+        category="compare",
+    )
+)
+
+_add(
+    spec(
+        "Cmpli",
+        "cmpli",
+        "D",
+        "fixed-point",
+        "10 BF:3 0:1 L:1 RA:5 UI:16",
+        "BF, L, RA, UI",
+        execute_clause(
+            "Cmpli",
+            "BF, L, RA, UI",
+            "(bit[64]) a := 0;\n"
+            "  if L == 0 then a := EXTZ(64, (GPR[RA])[32..63]) "
+            "else a := GPR[RA];\n"
+            "  (bit[64]) b := EXTZ(UI);\n"
+            + _CMP_TAIL.format(lt="<u", gt=">u"),
+        ),
+        category="compare",
+    )
+)
+
+# ----------------------------------------------------------------------
+# Condition-register logical (XL-form) -- single-bit footprints
+# ----------------------------------------------------------------------
+
+_CR_LOGICAL = [
+    ("Crand", "crand", 257, "CR[to_num(BA)+32] & CR[to_num(BB)+32]"),
+    ("Cror", "cror", 449, "CR[to_num(BA)+32] | CR[to_num(BB)+32]"),
+    ("Crxor", "crxor", 193, "CR[to_num(BA)+32] ^ CR[to_num(BB)+32]"),
+    ("Crnand", "crnand", 225, "~(CR[to_num(BA)+32] & CR[to_num(BB)+32])"),
+    ("Crnor", "crnor", 33, "~(CR[to_num(BA)+32] | CR[to_num(BB)+32])"),
+    ("Creqv", "creqv", 289, "~(CR[to_num(BA)+32] ^ CR[to_num(BB)+32])"),
+    ("Crandc", "crandc", 129, "CR[to_num(BA)+32] & ~CR[to_num(BB)+32]"),
+    ("Crorc", "crorc", 417, "CR[to_num(BA)+32] | ~CR[to_num(BB)+32]"),
+]
+
+for name, mnemonic, xo, expr in _CR_LOGICAL:
+    _add(
+        spec(
+            name,
+            mnemonic,
+            "XL",
+            "fixed-point",
+            f"19 BT:5 BA:5 BB:5 {xo}:10 0:1",
+            "BT, BA, BB",
+            execute_clause(
+                name, "BT, BA, BB", f"CR[to_num(BT)+32] := {expr}"
+            ),
+            category="cr-logical",
+        )
+    )
+
+_add(
+    spec(
+        "Mcrf",
+        "mcrf",
+        "XL",
+        "fixed-point",
+        "19 BF:3 0:2 BFA:3 0:2 0:5 0:10 0:1",
+        "BF, BFA",
+        execute_clause(
+            "Mcrf",
+            "BF, BFA",
+            "CR[4*to_num(BF)+32 .. 4*to_num(BF)+35] := "
+            "CR[4*to_num(BFA)+32 .. 4*to_num(BFA)+35]",
+        ),
+        category="cr-logical",
+    )
+)
+
+# ----------------------------------------------------------------------
+# Move to/from special-purpose registers (XER=1, LR=8, CTR=9)
+# ----------------------------------------------------------------------
+
+#: The 10-bit SPR field is encoded with its halves swapped:
+#: spr number = SPR[5..9] || SPR[0..4].
+_SPR_NUM = "(int) n := to_num(SPR[5..9] : SPR[0..4])"
+
+_add(
+    spec(
+        "Mtspr",
+        "mtspr",
+        "XFX",
+        "fixed-point",
+        "31 RS:5 SPR:10 467:10 0:1",
+        "spr, RS",
+        execute_clause(
+            "Mtspr",
+            "RS, SPR",
+            f"{_SPR_NUM};\n"
+            "  if n == 1 then XER := EXTZ(32, 0b0) : (GPR[RS])[32..34] : EXTZ(29, 0b0) "
+            "else if n == 8 then LR := GPR[RS] "
+            "else if n == 9 then CTR := GPR[RS] else NOP()",
+        ),
+        invalid_when="((SPR & 0x1F) << 5 | (SPR >> 5)) not in (1, 8, 9)",
+        category="spr-move",
+    )
+)
+
+_add(
+    spec(
+        "Mfspr",
+        "mfspr",
+        "XFX",
+        "fixed-point",
+        "31 RT:5 SPR:10 339:10 0:1",
+        "RT, spr",
+        execute_clause(
+            "Mfspr",
+            "RT, SPR",
+            f"{_SPR_NUM};\n"
+            "  if n == 1 then GPR[RT] := XER "
+            "else if n == 8 then GPR[RT] := LR "
+            "else if n == 9 then GPR[RT] := CTR else NOP()",
+        ),
+        invalid_when="((SPR & 0x1F) << 5 | (SPR >> 5)) not in (1, 8, 9)",
+        category="spr-move",
+    )
+)
+
+# ----------------------------------------------------------------------
+# Move to/from the condition register (field-granular, section 2.1.4)
+# ----------------------------------------------------------------------
+
+_MTCRF_BODY = (
+    "foreach (i from 0 to 7)\n"
+    "    if FXM[i] == 0b1 then "
+    "CR[4*i+32 .. 4*i+35] := (GPR[RS])[4*i+32 .. 4*i+35]"
+)
+
+_add(
+    spec(
+        "Mtcrf",
+        "mtcrf",
+        "XFX",
+        "fixed-point",
+        "31 RS:5 0:1 FXM:8 0:1 144:10 0:1",
+        "fxm, RS",
+        execute_clause("Mtcrf", "RS, FXM", _MTCRF_BODY),
+        category="cr-move",
+    )
+)
+
+_add(
+    spec(
+        "Mtocrf",
+        "mtocrf",
+        "XFX",
+        "fixed-point",
+        "31 RS:5 1:1 FXM:8 0:1 144:10 0:1",
+        "fxm, RS",
+        execute_clause("Mtocrf", "RS, FXM", _MTCRF_BODY),
+        invalid_when="not (FXM != 0 and (FXM & (FXM - 1)) == 0)",
+        category="cr-move",
+    )
+)
+
+_add(
+    spec(
+        "Mfcr",
+        "mfcr",
+        "XFX",
+        "fixed-point",
+        "31 RT:5 0:1 0:8 0:1 19:10 0:1",
+        "RT",
+        execute_clause("Mfcr", "RT", "GPR[RT] := EXTZ(64, CR)"),
+        category="cr-move",
+    )
+)
+
+# mfocrf reads only the selected CR field; the rest of RT is undefined.
+_add(
+    spec(
+        "Mfocrf",
+        "mfocrf",
+        "XFX",
+        "fixed-point",
+        "31 RT:5 1:1 FXM:8 0:1 19:10 0:1",
+        "RT, fxm",
+        execute_clause(
+            "Mfocrf",
+            "RT, FXM",
+            "(bit[64]) r := UNDEFINED(64);\n"
+            "  foreach (i from 0 to 7)\n"
+            "    if FXM[i] == 0b1 then "
+            "r[4*i+32 .. 4*i+35] := CR[4*i+32 .. 4*i+35];\n"
+            "  GPR[RT] := r",
+        ),
+        invalid_when="not (FXM != 0 and (FXM & (FXM - 1)) == 0)",
+        category="cr-move",
+    )
+)

@@ -1,0 +1,284 @@
+"""Fixed-point load and store instructions (Power ISA 2.06B chapter 3.3.2-3).
+
+Families are generated programmatically from the size/extension/form grid --
+this mirrors the regular structure of the vendor documentation, where the
+pseudocode differs only in effective-address computation, access size, and
+result extension.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..spec import InstructionSpec, spec
+from .common import (
+    EA_D,
+    EA_DS,
+    EA_DS_UPDATE,
+    EA_D_UPDATE,
+    EA_X,
+    EA_X_UPDATE,
+    execute_clause,
+    gpr_slice,
+    load_extend,
+)
+
+SPECS: List[InstructionSpec] = []
+
+
+def _add(s: InstructionSpec) -> None:
+    SPECS.append(s)
+
+
+# ----------------------------------------------------------------------
+# D-form loads: lbz 34, lhz 40, lha 42, lwz 32 (+ update forms)
+# ----------------------------------------------------------------------
+
+_D_LOADS = [
+    ("Lbz", "lbz", 34, 1, False),
+    ("Lbzu", "lbzu", 35, 1, False),
+    ("Lhz", "lhz", 40, 2, False),
+    ("Lhzu", "lhzu", 41, 2, False),
+    ("Lha", "lha", 42, 2, True),
+    ("Lhau", "lhau", 43, 2, True),
+    ("Lwz", "lwz", 32, 4, False),
+    ("Lwzu", "lwzu", 33, 4, False),
+]
+
+for name, mnemonic, opcd, size, signed in _D_LOADS:
+    update = mnemonic.endswith("u")
+    ea = EA_D_UPDATE if update else EA_D
+    body = f"{ea};\n  GPR[RT] := {load_extend(size, signed)}"
+    if update:
+        body += ";\n  GPR[RA] := EA"
+    _add(
+        spec(
+            name,
+            mnemonic,
+            "D",
+            "fixed-point",
+            f"{opcd} RT:5 RA:5 D:16",
+            "RT, D(RA)",
+            execute_clause(name, "RT, RA, D", body),
+            invalid_when="RA == 0 or RA == RT" if update else None,
+            category="load",
+        )
+    )
+
+# ----------------------------------------------------------------------
+# DS-form loads: ld 58/0, ldu 58/1, lwa 58/2
+# ----------------------------------------------------------------------
+
+_DS_LOADS = [
+    ("Ld", "ld", 0, 8, False, False),
+    ("Ldu", "ldu", 1, 8, False, True),
+    ("Lwa", "lwa", 2, 4, True, False),
+]
+
+for name, mnemonic, xo, size, signed, update in _DS_LOADS:
+    ea = EA_DS_UPDATE if update else EA_DS
+    body = f"{ea};\n  GPR[RT] := {load_extend(size, signed)}"
+    if update:
+        body += ";\n  GPR[RA] := EA"
+    _add(
+        spec(
+            name,
+            mnemonic,
+            "DS",
+            "fixed-point",
+            f"58 RT:5 RA:5 DS:14 {xo}:2",
+            "RT, DS(RA)",
+            execute_clause(name, "RT, RA, DS", body),
+            invalid_when="RA == 0 or RA == RT" if update else (
+                "RA == 0" if mnemonic == "lwa" and False else None
+            ),
+            category="load",
+        )
+    )
+
+# ----------------------------------------------------------------------
+# X-form loads (opcd 31)
+# ----------------------------------------------------------------------
+
+_X_LOADS = [
+    ("Lbzx", "lbzx", 87, 1, False, False),
+    ("Lbzux", "lbzux", 119, 1, False, True),
+    ("Lhzx", "lhzx", 279, 2, False, False),
+    ("Lhzux", "lhzux", 311, 2, False, True),
+    ("Lhax", "lhax", 343, 2, True, False),
+    ("Lhaux", "lhaux", 375, 2, True, True),
+    ("Lwzx", "lwzx", 23, 4, False, False),
+    ("Lwzux", "lwzux", 55, 4, False, True),
+    ("Lwax", "lwax", 341, 4, True, False),
+    ("Lwaux", "lwaux", 373, 4, True, True),
+    ("Ldx", "ldx", 21, 8, False, False),
+    ("Ldux", "ldux", 53, 8, False, True),
+]
+
+for name, mnemonic, xo, size, signed, update in _X_LOADS:
+    ea = EA_X_UPDATE if update else EA_X
+    body = f"{ea};\n  GPR[RT] := {load_extend(size, signed)}"
+    if update:
+        body += ";\n  GPR[RA] := EA"
+    _add(
+        spec(
+            name,
+            mnemonic,
+            "X",
+            "fixed-point",
+            f"31 RT:5 RA:5 RB:5 {xo}:10 0:1",
+            "RT, RA, RB",
+            execute_clause(name, "RT, RA, RB", body),
+            invalid_when="RA == 0 or RA == RT" if update else None,
+            category="load",
+        )
+    )
+
+# ----------------------------------------------------------------------
+# D-form stores: stb 38, sth 44, stw 36 (+ update forms)
+# ----------------------------------------------------------------------
+
+_D_STORES = [
+    ("Stb", "stb", 38, 1, False),
+    ("Stbu", "stbu", 39, 1, True),
+    ("Sth", "sth", 44, 2, False),
+    ("Sthu", "sthu", 45, 2, True),
+    ("Stw", "stw", 36, 4, False),
+    ("Stwu", "stwu", 37, 4, True),
+]
+
+for name, mnemonic, opcd, size, update in _D_STORES:
+    ea = EA_D_UPDATE if update else EA_D
+    body = f"{ea};\n  MEMw(EA, {size}) := {gpr_slice(size)}"
+    if update:
+        body += ";\n  GPR[RA] := EA"
+    _add(
+        spec(
+            name,
+            mnemonic,
+            "D",
+            "fixed-point",
+            f"{opcd} RS:5 RA:5 D:16",
+            "RS, D(RA)",
+            execute_clause(name, "RS, RA, D", body),
+            invalid_when="RA == 0" if update else None,
+            category="store",
+        )
+    )
+
+# ----------------------------------------------------------------------
+# DS-form stores: std 62/0, stdu 62/1 (stdu is the paper's Fig. 2 example)
+# ----------------------------------------------------------------------
+
+_DS_STORES = [
+    ("Std", "std", 0, False),
+    ("Stdu", "stdu", 1, True),
+]
+
+for name, mnemonic, xo, update in _DS_STORES:
+    ea = EA_DS_UPDATE if update else EA_DS
+    body = f"{ea};\n  MEMw(EA, 8) := GPR[RS]"
+    if update:
+        body += ";\n  GPR[RA] := EA"
+    _add(
+        spec(
+            name,
+            mnemonic,
+            "DS",
+            "fixed-point",
+            f"62 RS:5 RA:5 DS:14 {xo}:2",
+            "RS, DS(RA)",
+            execute_clause(name, "RS, RA, DS", body),
+            invalid_when="RA == 0" if update else None,
+            category="store",
+        )
+    )
+
+# ----------------------------------------------------------------------
+# X-form stores
+# ----------------------------------------------------------------------
+
+_X_STORES = [
+    ("Stbx", "stbx", 215, 1, False),
+    ("Stbux", "stbux", 247, 1, True),
+    ("Sthx", "sthx", 407, 2, False),
+    ("Sthux", "sthux", 439, 2, True),
+    ("Stwx", "stwx", 151, 4, False),
+    ("Stwux", "stwux", 183, 4, True),
+    ("Stdx", "stdx", 149, 8, False),
+    ("Stdux", "stdux", 181, 8, True),
+]
+
+for name, mnemonic, xo, size, update in _X_STORES:
+    ea = EA_X_UPDATE if update else EA_X
+    body = f"{ea};\n  MEMw(EA, {size}) := {gpr_slice(size)}"
+    if update:
+        body += ";\n  GPR[RA] := EA"
+    _add(
+        spec(
+            name,
+            mnemonic,
+            "X",
+            "fixed-point",
+            f"31 RS:5 RA:5 RB:5 {xo}:10 0:1",
+            "RS, RA, RB",
+            execute_clause(name, "RS, RA, RB", body),
+            invalid_when="RA == 0" if update else None,
+            category="store",
+        )
+    )
+
+# ----------------------------------------------------------------------
+# Byte-reversed loads and stores (X-form)
+# ----------------------------------------------------------------------
+
+
+def _byte_reverse_load(size: int) -> str:
+    chunks = " : ".join(
+        f"m[{8 * i}..{8 * i + 7}]" for i in reversed(range(size))
+    )
+    return (
+        f"(bit[{8 * size}]) m := MEMr(EA, {size});\n"
+        f"  GPR[RT] := EXTZ(64, {chunks})"
+    )
+
+
+def _byte_reverse_store(size: int) -> str:
+    lo = 64 - 8 * size
+    chunks = " : ".join(
+        f"s[{lo + 8 * i}..{lo + 8 * i + 7}]" for i in reversed(range(size))
+    )
+    return (
+        f"(bit[64]) s := GPR[RS];\n"
+        f"  MEMw(EA, {size}) := {chunks}"
+    )
+
+
+_BRX = [
+    ("Lhbrx", "lhbrx", 790, 2, True),
+    ("Lwbrx", "lwbrx", 534, 4, True),
+    ("Ldbrx", "ldbrx", 532, 8, True),
+    ("Sthbrx", "sthbrx", 918, 2, False),
+    ("Stwbrx", "stwbrx", 662, 4, False),
+    ("Stdbrx", "stdbrx", 660, 8, False),
+]
+
+for name, mnemonic, xo, size, is_load in _BRX:
+    if is_load:
+        body = f"{EA_X};\n  {_byte_reverse_load(size)}"
+        syntax, fields, reg = "RT, RA, RB", "RT, RA, RB", "RT"
+    else:
+        body = f"{EA_X};\n  {_byte_reverse_store(size)}"
+        syntax, fields, reg = "RS, RA, RB", "RS, RA, RB", "RS"
+    _add(
+        spec(
+            name,
+            mnemonic,
+            "X",
+            "fixed-point",
+            f"31 {reg}:5 RA:5 RB:5 {xo}:10 0:1",
+            syntax,
+            execute_clause(name, fields, body),
+            category="load" if is_load else "store",
+        )
+    )

@@ -1,0 +1,158 @@
+"""Fixed-point logical instructions (Power ISA 2.06B chapter 3.3.12).
+
+Note the operand convention: logical X-forms write RA and read RS/RB, the
+reverse of the arithmetic register order.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..spec import InstructionSpec, spec
+from .common import CR0_ALWAYS, CR0_RECORD, execute_clause
+
+SPECS: List[InstructionSpec] = []
+
+
+def _add(s: InstructionSpec) -> None:
+    SPECS.append(s)
+
+
+# ----------------------------------------------------------------------
+# D-form immediates
+# ----------------------------------------------------------------------
+
+_D_LOGICAL = [
+    # (name, mnemonic, opcd, op-expr, record, shifted)
+    ("AndiRecord", "andi.", 28, "GPR[RS] & EXTZ(UI)", True, False),
+    ("AndisRecord", "andis.", 29, "GPR[RS] & EXTZ(UI : 0x0000)", True, False),
+    ("Ori", "ori", 24, "GPR[RS] | EXTZ(UI)", False, False),
+    ("Oris", "oris", 25, "GPR[RS] | EXTZ(UI : 0x0000)", False, False),
+    ("Xori", "xori", 26, "GPR[RS] ^ EXTZ(UI)", False, False),
+    ("Xoris", "xoris", 27, "GPR[RS] ^ EXTZ(UI : 0x0000)", False, False),
+]
+
+for name, mnemonic, opcd, expr, record, _shifted in _D_LOGICAL:
+    body = f"(bit[64]) r := {expr};\n  GPR[RA] := r"
+    if record:
+        body += ";\n  " + CR0_ALWAYS.format(r="r")
+    _add(
+        spec(
+            name,
+            mnemonic,
+            "D",
+            "fixed-point",
+            f"{opcd} RS:5 RA:5 UI:16",
+            "RA, RS, UI",
+            execute_clause(name, "RS, RA, UI", body),
+            category="logical",
+        )
+    )
+
+# ----------------------------------------------------------------------
+# X-form two-register logical operations (with Rc)
+# ----------------------------------------------------------------------
+
+_X_LOGICAL = [
+    ("And", "and", 28, "GPR[RS] & GPR[RB]"),
+    ("Or", "or", 444, "GPR[RS] | GPR[RB]"),
+    ("Xor", "xor", 316, None),  # special-cased below
+    ("Nand", "nand", 476, "~(GPR[RS] & GPR[RB])"),
+    ("Nor", "nor", 124, "~(GPR[RS] | GPR[RB])"),
+    ("Eqv", "eqv", 284, "~(GPR[RS] ^ GPR[RB])"),
+    ("Andc", "andc", 60, "GPR[RS] & ~GPR[RB]"),
+    ("Orc", "orc", 412, "GPR[RS] | ~GPR[RB]"),
+]
+
+#: xor of a register with itself is exactly zero even when the register
+#: holds undef bits (two reads of one register see the same concrete value
+#: on hardware).  The litmus idiom "xor rX,rY,rY" for artificial address
+#: dependencies relies on this (e.g. MP+sync+addr-cr, where rY comes from
+#: mfocrf with 60 undefined bits).  The register read is retained, so the
+#: dependency is preserved; "0 & a" is bit-exactly zero in the lifted
+#: domain.
+_XOR_BODY = (
+    "(bit[64]) r := 0;\n"
+    "  if RS == RB then { (bit[64]) a := GPR[RS]; r := EXTZ(64, 0b0) & a }\n"
+    "  else r := GPR[RS] ^ GPR[RB]"
+)
+
+for name, mnemonic, xo, expr in _X_LOGICAL:
+    value = _XOR_BODY if expr is None else f"(bit[64]) r := {expr}"
+    body = (
+        f"{value};\n"
+        "  GPR[RA] := r;\n"
+        f"  {CR0_RECORD.format(r='r')}"
+    )
+    _add(
+        spec(
+            name,
+            mnemonic,
+            "X",
+            "fixed-point",
+            f"31 RS:5 RA:5 RB:5 {xo}:10 Rc:1",
+            "RA, RS, RB",
+            execute_clause(name, "RS, RA, RB", body),
+            category="logical",
+        )
+    )
+
+# ----------------------------------------------------------------------
+# Sign extension and count-leading-zeros (RB field fixed to zero)
+# ----------------------------------------------------------------------
+
+_X_UNARY = [
+    ("Extsb", "extsb", 954, "EXTS(64, (GPR[RS])[56..63])"),
+    ("Extsh", "extsh", 922, "EXTS(64, (GPR[RS])[48..63])"),
+    ("Extsw", "extsw", 986, "EXTS(64, (GPR[RS])[32..63])"),
+    ("Cntlzw", "cntlzw", 26,
+     "EXTZ(64, COUNT_LEADING_ZEROS((GPR[RS])[32..63]))"),
+    ("Cntlzd", "cntlzd", 58, "COUNT_LEADING_ZEROS(GPR[RS])"),
+]
+
+for name, mnemonic, xo, expr in _X_UNARY:
+    body = (
+        f"(bit[64]) r := {expr};\n"
+        "  GPR[RA] := r;\n"
+        f"  {CR0_RECORD.format(r='r')}"
+    )
+    _add(
+        spec(
+            name,
+            mnemonic,
+            "X",
+            "fixed-point",
+            f"31 RS:5 RA:5 0:5 {xo}:10 Rc:1",
+            "RA, RS",
+            execute_clause(name, "RS, RA", body),
+            category="logical",
+        )
+    )
+
+# popcntb: population count of each byte, no record form (Rc bit reserved).
+_add(
+    spec(
+        "Popcntb",
+        "popcntb",
+        "X",
+        "fixed-point",
+        "31 RS:5 RA:5 0:5 122:10 0:1",
+        "RA, RS",
+        execute_clause(
+            "Popcntb",
+            "RS, RA",
+            # Branch-free per-bit accumulation: summing the zero-extended
+            # bits avoids 2^64-way forking in the exhaustive analysis.
+            "(bit[64]) s := GPR[RS];\n"
+            "  (bit[64]) r := 0;\n"
+            "  foreach (i from 0 to 7) {\n"
+            "    (bit[8]) n := 0x00;\n"
+            "    foreach (j from 0 to 7)\n"
+            "      n := n + EXTZ(8, s[8*i+j]);\n"
+            "    r[8*i .. 8*i+7] := n\n"
+            "  };\n"
+            "  GPR[RA] := r",
+        ),
+        category="logical",
+    )
+)

@@ -1,0 +1,453 @@
+"""Fixed-point rotate and shift instructions (Power ISA 2.06B chapter 3.3.12).
+
+The MD/MDS/XS forms split their 6-bit shift/mask immediates across the
+instruction word (sh = instr[30] || instr[16:20]; mb/me = instr[26] ||
+instr[21:25]); the encoded fields are ``SHL``/``SHH``/``MBE`` here, and the
+pseudocode reassembles them exactly as the vendor documentation describes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..spec import InstructionSpec, spec
+from .common import CR0_RECORD, execute_clause
+
+SPECS: List[InstructionSpec] = []
+
+
+def _add(s: InstructionSpec) -> None:
+    SPECS.append(s)
+
+
+def _record(r: str) -> str:
+    return CR0_RECORD.format(r=r)
+
+
+# ----------------------------------------------------------------------
+# M-form word rotates
+# ----------------------------------------------------------------------
+
+_add(
+    spec(
+        "Rlwinm",
+        "rlwinm",
+        "M",
+        "fixed-point",
+        "21 RS:5 RA:5 SH:5 MB:5 ME:5 Rc:1",
+        "RA, RS, SH, MB, ME",
+        execute_clause(
+            "Rlwinm",
+            "RS, RA, SH, MB, ME",
+            "(bit[32]) s := (GPR[RS])[32..63];\n"
+            "  (bit[64]) r := ROTL(s : s, to_num(SH));\n"
+            "  (bit[64]) m := MASK(to_num(MB) + 32, to_num(ME) + 32);\n"
+            "  (bit[64]) res := r & m;\n"
+            "  GPR[RA] := res;\n"
+            f"  {_record('res')}",
+        ),
+        category="rotate",
+    )
+)
+
+_add(
+    spec(
+        "Rlwnm",
+        "rlwnm",
+        "M",
+        "fixed-point",
+        "23 RS:5 RA:5 RB:5 MB:5 ME:5 Rc:1",
+        "RA, RS, RB, MB, ME",
+        execute_clause(
+            "Rlwnm",
+            "RS, RA, RB, MB, ME",
+            "(bit[32]) s := (GPR[RS])[32..63];\n"
+            "  (int) n := to_num((GPR[RB])[59..63]);\n"
+            "  (bit[64]) r := ROTL(s : s, n);\n"
+            "  (bit[64]) m := MASK(to_num(MB) + 32, to_num(ME) + 32);\n"
+            "  (bit[64]) res := r & m;\n"
+            "  GPR[RA] := res;\n"
+            f"  {_record('res')}",
+        ),
+        category="rotate",
+    )
+)
+
+_add(
+    spec(
+        "Rlwimi",
+        "rlwimi",
+        "M",
+        "fixed-point",
+        "20 RS:5 RA:5 SH:5 MB:5 ME:5 Rc:1",
+        "RA, RS, SH, MB, ME",
+        execute_clause(
+            "Rlwimi",
+            "RS, RA, SH, MB, ME",
+            "(bit[32]) s := (GPR[RS])[32..63];\n"
+            "  (bit[64]) r := ROTL(s : s, to_num(SH));\n"
+            "  (bit[64]) m := MASK(to_num(MB) + 32, to_num(ME) + 32);\n"
+            "  (bit[64]) res := (r & m) | (GPR[RA] & ~m);\n"
+            "  GPR[RA] := res;\n"
+            f"  {_record('res')}",
+        ),
+        category="rotate",
+    )
+)
+
+# ----------------------------------------------------------------------
+# MD-form doubleword rotates (split sh and mb/me fields)
+# ----------------------------------------------------------------------
+
+_SH6 = "(int) n := to_num(SHH : SHL)"
+_MB6 = "(int) b := to_num(MBE[5] : MBE[0..4])"
+
+_add(
+    spec(
+        "Rldicl",
+        "rldicl",
+        "MD",
+        "fixed-point",
+        "30 RS:5 RA:5 SHL:5 MBE:6 0:3 SHH:1 Rc:1",
+        "RA, RS, sh6, mb6",
+        execute_clause(
+            "Rldicl",
+            "RS, RA, SHL, SHH, MBE",
+            f"{_SH6};\n"
+            f"  {_MB6};\n"
+            "  (bit[64]) r := ROTL(GPR[RS], n);\n"
+            "  (bit[64]) m := MASK(b, 63);\n"
+            "  (bit[64]) res := r & m;\n"
+            "  GPR[RA] := res;\n"
+            f"  {_record('res')}",
+        ),
+        category="rotate",
+    )
+)
+
+_add(
+    spec(
+        "Rldicr",
+        "rldicr",
+        "MD",
+        "fixed-point",
+        "30 RS:5 RA:5 SHL:5 MBE:6 1:3 SHH:1 Rc:1",
+        "RA, RS, sh6, me6",
+        execute_clause(
+            "Rldicr",
+            "RS, RA, SHL, SHH, MBE",
+            f"{_SH6};\n"
+            "  (int) e := to_num(MBE[5] : MBE[0..4]);\n"
+            "  (bit[64]) r := ROTL(GPR[RS], n);\n"
+            "  (bit[64]) m := MASK(0, e);\n"
+            "  (bit[64]) res := r & m;\n"
+            "  GPR[RA] := res;\n"
+            f"  {_record('res')}",
+        ),
+        category="rotate",
+    )
+)
+
+_add(
+    spec(
+        "Rldic",
+        "rldic",
+        "MD",
+        "fixed-point",
+        "30 RS:5 RA:5 SHL:5 MBE:6 2:3 SHH:1 Rc:1",
+        "RA, RS, sh6, mb6",
+        execute_clause(
+            "Rldic",
+            "RS, RA, SHL, SHH, MBE",
+            f"{_SH6};\n"
+            f"  {_MB6};\n"
+            "  (bit[64]) r := ROTL(GPR[RS], n);\n"
+            "  (bit[64]) m := MASK(b, 63 - n);\n"
+            "  (bit[64]) res := r & m;\n"
+            "  GPR[RA] := res;\n"
+            f"  {_record('res')}",
+        ),
+        category="rotate",
+    )
+)
+
+_add(
+    spec(
+        "Rldimi",
+        "rldimi",
+        "MD",
+        "fixed-point",
+        "30 RS:5 RA:5 SHL:5 MBE:6 3:3 SHH:1 Rc:1",
+        "RA, RS, sh6, mb6",
+        execute_clause(
+            "Rldimi",
+            "RS, RA, SHL, SHH, MBE",
+            f"{_SH6};\n"
+            f"  {_MB6};\n"
+            "  (bit[64]) r := ROTL(GPR[RS], n);\n"
+            "  (bit[64]) m := MASK(b, 63 - n);\n"
+            "  (bit[64]) res := (r & m) | (GPR[RA] & ~m);\n"
+            "  GPR[RA] := res;\n"
+            f"  {_record('res')}",
+        ),
+        category="rotate",
+    )
+)
+
+# MDS-form: rotate amount from a register.
+_add(
+    spec(
+        "Rldcl",
+        "rldcl",
+        "MDS",
+        "fixed-point",
+        "30 RS:5 RA:5 RB:5 MBE:6 8:4 Rc:1",
+        "RA, RS, RB, mb6",
+        execute_clause(
+            "Rldcl",
+            "RS, RA, RB, MBE",
+            "(int) n := to_num((GPR[RB])[58..63]);\n"
+            f"  {_MB6};\n"
+            "  (bit[64]) r := ROTL(GPR[RS], n);\n"
+            "  (bit[64]) m := MASK(b, 63);\n"
+            "  (bit[64]) res := r & m;\n"
+            "  GPR[RA] := res;\n"
+            f"  {_record('res')}",
+        ),
+        category="rotate",
+    )
+)
+
+_add(
+    spec(
+        "Rldcr",
+        "rldcr",
+        "MDS",
+        "fixed-point",
+        "30 RS:5 RA:5 RB:5 MBE:6 9:4 Rc:1",
+        "RA, RS, RB, me6",
+        execute_clause(
+            "Rldcr",
+            "RS, RA, RB, MBE",
+            "(int) n := to_num((GPR[RB])[58..63]);\n"
+            "  (int) e := to_num(MBE[5] : MBE[0..4]);\n"
+            "  (bit[64]) r := ROTL(GPR[RS], n);\n"
+            "  (bit[64]) m := MASK(0, e);\n"
+            "  (bit[64]) res := r & m;\n"
+            "  GPR[RA] := res;\n"
+            f"  {_record('res')}",
+        ),
+        category="rotate",
+    )
+)
+
+# ----------------------------------------------------------------------
+# X-form shifts
+# ----------------------------------------------------------------------
+
+_add(
+    spec(
+        "Slw",
+        "slw",
+        "X",
+        "fixed-point",
+        "31 RS:5 RA:5 RB:5 24:10 Rc:1",
+        "RA, RS, RB",
+        execute_clause(
+            "Slw",
+            "RS, RA, RB",
+            "(bit[32]) s := (GPR[RS])[32..63];\n"
+            "  (int) n := to_num((GPR[RB])[59..63]);\n"
+            "  (bit[64]) r := ROTL(s : s, n);\n"
+            "  (bit[64]) m := 0;\n"
+            "  if (GPR[RB])[58] == 0b0 then m := MASK(32, 63 - n);\n"
+            "  (bit[64]) res := r & m;\n"
+            "  GPR[RA] := res;\n"
+            f"  {_record('res')}",
+        ),
+        category="shift",
+    )
+)
+
+_add(
+    spec(
+        "Srw",
+        "srw",
+        "X",
+        "fixed-point",
+        "31 RS:5 RA:5 RB:5 536:10 Rc:1",
+        "RA, RS, RB",
+        execute_clause(
+            "Srw",
+            "RS, RA, RB",
+            "(bit[32]) s := (GPR[RS])[32..63];\n"
+            "  (int) n := to_num((GPR[RB])[59..63]);\n"
+            "  (bit[64]) r := ROTL(s : s, 64 - n);\n"
+            "  (bit[64]) m := 0;\n"
+            "  if (GPR[RB])[58] == 0b0 then m := MASK(32 + n, 63);\n"
+            "  (bit[64]) res := r & m;\n"
+            "  GPR[RA] := res;\n"
+            f"  {_record('res')}",
+        ),
+        category="shift",
+    )
+)
+
+_SRAW_BODY = (
+    "(bit[32]) s := (GPR[RS])[32..63];\n"
+    "  {amount};\n"
+    "  (bit[64]) r := ROTL(s : s, 64 - n);\n"
+    "  (bit[64]) m := 0;\n"
+    "  if {deep} then m := MASK(32 + n, 63);\n"
+    "  (bit[64]) sgn := REPLICATE(s[0], 64);\n"
+    "  (bit[64]) res := (r & m) | (sgn & ~m);\n"
+    "  GPR[RA] := res;\n"
+    "  (bit[1]) lost := if (r & ~m & 0x00000000FFFFFFFF) == EXTZ(64, 0b0) "
+    "then 0b0 else 0b1;\n"
+    "  XER.CA := s[0] & lost;\n"
+    "  {record}"
+)
+
+_add(
+    spec(
+        "Sraw",
+        "sraw",
+        "X",
+        "fixed-point",
+        "31 RS:5 RA:5 RB:5 792:10 Rc:1",
+        "RA, RS, RB",
+        execute_clause(
+            "Sraw",
+            "RS, RA, RB",
+            _SRAW_BODY.format(
+                amount="(int) n := to_num((GPR[RB])[59..63])",
+                deep="(GPR[RB])[58] == 0b0",
+                record=_record("res"),
+            ),
+        ),
+        category="shift",
+    )
+)
+
+_add(
+    spec(
+        "Srawi",
+        "srawi",
+        "X",
+        "fixed-point",
+        "31 RS:5 RA:5 SH:5 824:10 Rc:1",
+        "RA, RS, SH",
+        execute_clause(
+            "Srawi",
+            "RS, RA, SH",
+            _SRAW_BODY.format(
+                amount="(int) n := to_num(SH)",
+                deep="0b1 == 0b1",
+                record=_record("res"),
+            ),
+        ),
+        category="shift",
+    )
+)
+
+_add(
+    spec(
+        "Sld",
+        "sld",
+        "X",
+        "fixed-point",
+        "31 RS:5 RA:5 RB:5 27:10 Rc:1",
+        "RA, RS, RB",
+        execute_clause(
+            "Sld",
+            "RS, RA, RB",
+            "(int) n := to_num((GPR[RB])[58..63]);\n"
+            "  (bit[64]) r := ROTL(GPR[RS], n);\n"
+            "  (bit[64]) m := 0;\n"
+            "  if (GPR[RB])[57] == 0b0 then m := MASK(0, 63 - n);\n"
+            "  (bit[64]) res := r & m;\n"
+            "  GPR[RA] := res;\n"
+            f"  {_record('res')}",
+        ),
+        category="shift",
+    )
+)
+
+_add(
+    spec(
+        "Srd",
+        "srd",
+        "X",
+        "fixed-point",
+        "31 RS:5 RA:5 RB:5 539:10 Rc:1",
+        "RA, RS, RB",
+        execute_clause(
+            "Srd",
+            "RS, RA, RB",
+            "(int) n := to_num((GPR[RB])[58..63]);\n"
+            "  (bit[64]) r := ROTL(GPR[RS], 64 - n);\n"
+            "  (bit[64]) m := 0;\n"
+            "  if (GPR[RB])[57] == 0b0 then m := MASK(n, 63);\n"
+            "  (bit[64]) res := r & m;\n"
+            "  GPR[RA] := res;\n"
+            f"  {_record('res')}",
+        ),
+        category="shift",
+    )
+)
+
+_SRAD_BODY = (
+    "(bit[64]) s := GPR[RS];\n"
+    "  {amount};\n"
+    "  (bit[64]) r := ROTL(s, 64 - n);\n"
+    "  (bit[64]) m := 0;\n"
+    "  if {deep} then m := MASK(n, 63);\n"
+    "  (bit[64]) sgn := REPLICATE(s[0], 64);\n"
+    "  (bit[64]) res := (r & m) | (sgn & ~m);\n"
+    "  GPR[RA] := res;\n"
+    "  (bit[1]) lost := if (r & ~m) == EXTZ(64, 0b0) then 0b0 else 0b1;\n"
+    "  XER.CA := s[0] & lost;\n"
+    "  {record}"
+)
+
+_add(
+    spec(
+        "Srad",
+        "srad",
+        "X",
+        "fixed-point",
+        "31 RS:5 RA:5 RB:5 794:10 Rc:1",
+        "RA, RS, RB",
+        execute_clause(
+            "Srad",
+            "RS, RA, RB",
+            _SRAD_BODY.format(
+                amount="(int) n := to_num((GPR[RB])[58..63])",
+                deep="(GPR[RB])[57] == 0b0",
+                record=_record("res"),
+            ),
+        ),
+        category="shift",
+    )
+)
+
+_add(
+    spec(
+        "Sradi",
+        "sradi",
+        "XS",
+        "fixed-point",
+        "31 RS:5 RA:5 SHL:5 413:9 SHH:1 Rc:1",
+        "RA, RS, sh6",
+        execute_clause(
+            "Sradi",
+            "RS, RA, SHL, SHH",
+            _SRAD_BODY.format(
+                amount="(int) n := to_num(SHH : SHL)",
+                deep="0b1 == 0b1",
+                record=_record("res"),
+            ),
+        ),
+        category="shift",
+    )
+)

@@ -1,0 +1,101 @@
+"""Disassembler: 32-bit opcodes back to assembly text.
+
+The inverse of ``repro.isa.assembler``, generated from the same encoding
+specifications; used by the interactive UI's Fig. 3-style state display and
+by the codec round-trip benchmarks (E9).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .model import DecodedInstruction, IsaModel
+from .spec import REG_FIELDS, SIGNED_FIELDS
+
+_MEM_OPERAND = re.compile(r"^(?P<disp>[^()]*)\((?P<base>[^()]+)\)$")
+
+
+def _signed(value: int, width: int) -> int:
+    if value >> (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def disassemble(
+    model: IsaModel, word: int, address: Optional[int] = None
+) -> str:
+    """Render an opcode as assembly (``addr`` resolves branch targets)."""
+    instruction = model.decode(word)
+    if instruction is None:
+        return f".long 0x{word:08x}"
+    return render(instruction, address)
+
+
+def render(
+    instruction: DecodedInstruction, address: Optional[int] = None
+) -> str:
+    spec = instruction.spec
+    fields = dict(instruction.fields)
+    widths = {f.name: f.width for f in spec.operand_fields()}
+
+    mnemonic = spec.mnemonic
+    if fields.get("OE"):
+        mnemonic += "o"
+    if fields.get("Rc") and not mnemonic.endswith("."):
+        mnemonic += "."
+    if fields.get("LK"):
+        mnemonic += "l"
+    if fields.get("AA"):
+        mnemonic += "a"
+
+    parts = []
+    for template in spec.syntax:
+        if not template:
+            continue
+        parts.append(_render_operand(template, fields, widths, address))
+    operands = ",".join(parts)
+    return f"{mnemonic} {operands}".strip()
+
+
+def _render_operand(template, fields, widths, address) -> str:
+    match = _MEM_OPERAND.match(template)
+    if match:
+        disp_field, base_field = match.group("disp"), match.group("base")
+        raw = fields[disp_field]
+        disp = _signed(raw, widths[disp_field])
+        if disp_field == "DS":
+            disp *= 4
+        return f"{disp}(r{fields[base_field]})"
+    if template in REG_FIELDS:
+        return f"r{fields[template]}"
+    if template == "target":
+        field = "LI" if "LI" in fields else "BD"
+        offset = _signed(fields[field], widths[field]) << 2
+        if fields.get("AA"):
+            # Absolute target: render as a (possibly negative) signed
+            # address so re-assembly reproduces the same field value.
+            return str(offset)
+        if address is not None:
+            return f"0x{(address + offset) & ((1 << 64) - 1):x}"
+        return f".{offset:+d}"
+    if template == "spr":
+        raw = fields["SPR"]
+        number = ((raw & 0x1F) << 5) | (raw >> 5)
+        return {1: "xer", 8: "lr", 9: "ctr"}.get(number, str(number))
+    if template == "fxm":
+        mask = fields["FXM"]
+        if mask and mask & (mask - 1) == 0:
+            return f"cr{7 - mask.bit_length() + 1}"
+        return str(mask)
+    if template == "sh6":
+        return str((fields["SHH"] << 5) | fields["SHL"])
+    if template in ("mb6", "me6"):
+        raw = fields["MBE"]
+        return str(((raw & 1) << 5) | (raw >> 1))
+    if template in ("BF", "BFA"):
+        return f"cr{fields[template]}"
+    value = fields[template]
+    if template in SIGNED_FIELDS:
+        return str(_signed(value, widths[template]))
+    return str(value)

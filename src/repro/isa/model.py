@@ -1,0 +1,158 @@
+"""The assembled POWER ISA model.
+
+``IsaModel`` plays the role of the paper's ``context``: the complete ISA
+definition.  At construction it parses (and sanity-checks) the Sail
+pseudocode of every instruction specification, builds the decode table, and
+wires up the interpreter and the exhaustive footprint analysis.  Decoded
+instructions and their initial interpreter states are cached per opcode so
+that AST node identity is stable across the whole exploration (which the
+interpreter-state hashing relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..sail.analysis import Footprint, FootprintAnalysis
+from ..sail.ast import FunctionClause
+from ..sail.interp import Interp, InterpState, initial_state
+from ..sail.parser import parse_execute_clause
+from .defs import ALL_SPECS
+from .registers import Registry, power_registry
+from .spec import DecodeTable, InstructionSpec
+
+
+class DecodeError(Exception):
+    """An opcode that does not correspond to any known instruction."""
+
+
+@dataclass(frozen=True)
+class DecodedInstruction:
+    """One decoded instruction: spec + concrete field values.
+
+    Corresponds to an element of the paper's instruction AST type; the
+    ``fields`` are the operand field values extracted from the opcode.
+    """
+
+    spec: InstructionSpec
+    word: int
+    fields: Tuple[Tuple[str, int], ...]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    def field(self, name: str) -> int:
+        for key, value in self.fields:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    @property
+    def is_invalid_form(self) -> bool:
+        return self.spec.is_invalid_form(dict(self.fields))
+
+    def __str__(self) -> str:
+        operands = " ".join(f"{k}={v}" for k, v in self.fields)
+        return f"{self.mnemonic} {operands}".strip()
+
+
+class IsaModel:
+    """The complete ISA definition (decode + execute + analysis)."""
+
+    def __init__(self, specs=None):
+        self.registry: Registry = power_registry()
+        self._view = self.registry.parser_view()
+        self.interp = Interp(self.registry)
+        self.analysis = FootprintAnalysis(self.interp)
+        self.table = DecodeTable(specs if specs is not None else ALL_SPECS)
+        self._clauses: Dict[str, FunctionClause] = {}
+        self._decode_cache: Dict[int, Optional[DecodedInstruction]] = {}
+        self._initial_cache: Dict[int, InterpState] = {}
+        for spec in self.table.all_specs():
+            clause = parse_execute_clause(spec.pseudocode, self._view)
+            if clause.ast_name != spec.name:
+                raise ValueError(
+                    f"pseudocode clause {clause.ast_name} does not match "
+                    f"spec {spec.name}"
+                )
+            field_names = {f.name for f in spec.operand_fields()}
+            unknown = set(clause.fields) - field_names
+            if unknown:
+                raise ValueError(
+                    f"{spec.name}: clause fields {sorted(unknown)} not in encoding"
+                )
+            self._clauses[spec.name] = clause
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+
+    def decode(self, word: int) -> Optional[DecodedInstruction]:
+        """Decode a 32-bit opcode; None when unrecognised."""
+        if word in self._decode_cache:
+            return self._decode_cache[word]
+        spec = self.table.lookup(word)
+        decoded = None
+        if spec is not None:
+            decoded = DecodedInstruction(
+                spec, word, tuple(sorted(spec.decode_fields(word).items()))
+            )
+        self._decode_cache[word] = decoded
+        return decoded
+
+    def decode_or_raise(self, word: int) -> DecodedInstruction:
+        decoded = self.decode(word)
+        if decoded is None:
+            raise DecodeError(f"cannot decode opcode 0x{word:08x}")
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Instruction states
+    # ------------------------------------------------------------------
+
+    def initial_state(self, instruction: DecodedInstruction) -> InterpState:
+        """The Sail interpreter state at the start of the instruction.
+
+        Cached per opcode so instances share AST and initial state; restarts
+        (section 5) reset an instance to exactly this state.
+        """
+        cached = self._initial_cache.get(instruction.word)
+        if cached is not None:
+            return cached
+        clause = self._clauses[instruction.name]
+        fields = instruction.spec.field_bits(instruction.word)
+        state = initial_state(clause.body, fields)
+        self._initial_cache[instruction.word] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # Footprints
+    # ------------------------------------------------------------------
+
+    def footprint(
+        self, state: InterpState, cia: Optional[int] = None
+    ) -> Footprint:
+        """Exhaustive analysis of a (possibly partially executed) state."""
+        return self.analysis.analyze(state, cia)
+
+    def static_footprint(
+        self, instruction: DecodedInstruction, cia: Optional[int] = None
+    ) -> Footprint:
+        return self.footprint(self.initial_state(instruction), cia)
+
+
+_DEFAULT_MODEL: Optional[IsaModel] = None
+
+
+def default_model() -> IsaModel:
+    """A process-wide shared ISA model (parsing the corpus takes a moment)."""
+    global _DEFAULT_MODEL
+    if _DEFAULT_MODEL is None:
+        _DEFAULT_MODEL = IsaModel()
+    return _DEFAULT_MODEL

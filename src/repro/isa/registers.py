@@ -1,0 +1,146 @@
+"""The POWER architected register model.
+
+Registers carry their vendor-documentation bit numbering (section 2.1.4 of
+the paper): 64-bit registers are numbered 0..63 MSB-first; the 32-bit
+condition register CR is numbered 32..63 and partitioned into 4-bit fields
+CR0..CR7 whose bits carry the LT/GT/EQ/SO flag names.  The architectural
+granularity of register dependencies is a single bit, which is what lets the
+model allow ``MP+sync+addr-cr``.
+
+``CIA`` and ``NIA`` are the current/next instruction address pseudo-registers
+of the vendor pseudocode; the thread model treats them specially (they never
+give rise to dependencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..sail.outcomes import RegSlice
+from ..sail.parser import RegistryView
+
+
+@dataclass(frozen=True)
+class RegisterInfo:
+    """Shape of one architected register (or register file)."""
+
+    name: str
+    start: int  # first bit index in the vendor numbering
+    width: int
+    file_size: Optional[int] = None  # number of entries if a register file
+
+    @property
+    def end(self) -> int:
+        return self.start + self.width - 1
+
+
+class Registry:
+    """All architected registers the ISA model knows about."""
+
+    def __init__(self) -> None:
+        self._registers: Dict[str, RegisterInfo] = {}
+        self._fields: Dict[Tuple[str, str], Tuple[int, int]] = {}
+
+    def add(self, info: RegisterInfo) -> None:
+        self._registers[info.name] = info
+
+    def add_field(self, reg: str, field: str, lo: int, hi: int) -> None:
+        self._fields[(reg, field)] = (lo, hi)
+
+    # -- lookup --------------------------------------------------------
+
+    def info(self, name: str) -> RegisterInfo:
+        return self._registers[name]
+
+    def is_file(self, name: str) -> bool:
+        return self._registers[name].file_size is not None
+
+    def names(self) -> Iterable[str]:
+        return self._registers.keys()
+
+    def instance_name(self, name: str, index: Optional[int]) -> str:
+        """Concrete register instance name: ``GPR``+5 -> ``GPR5``."""
+        info = self._registers[name]
+        if info.file_size is None:
+            if index is not None:
+                raise KeyError(f"{name} is not a register file")
+            return name
+        if index is None or not 0 <= index < info.file_size:
+            raise KeyError(f"bad index {index} for register file {name}")
+        return f"{name}{index}"
+
+    def shape_of_instance(self, instance: str) -> RegisterInfo:
+        """Shape info for a concrete instance name (``GPR5`` -> GPR's shape)."""
+        if instance in self._registers:
+            return self._registers[instance]
+        for name, info in self._registers.items():
+            if info.file_size is not None and instance.startswith(name):
+                suffix = instance[len(name):]
+                if suffix.isdigit() and int(suffix) < info.file_size:
+                    return info
+        raise KeyError(f"unknown register instance {instance}")
+
+    def full_slice(self, instance: str) -> RegSlice:
+        info = self.shape_of_instance(instance)
+        return RegSlice(instance, info.start, info.end)
+
+    def slice_of(
+        self,
+        name: str,
+        index: Optional[int],
+        lo: Optional[int],
+        hi: Optional[int],
+    ) -> RegSlice:
+        """Resolve a (file, index, bit-range) reference to a ``RegSlice``."""
+        instance = self.instance_name(name, index)
+        info = self._registers[name]
+        if lo is None:
+            lo, hi = info.start, info.end
+        assert hi is not None
+        if not (info.start <= lo <= hi <= info.end):
+            raise KeyError(
+                f"bit range [{lo}..{hi}] outside {name}[{info.start}..{info.end}]"
+            )
+        return RegSlice(instance, lo, hi)
+
+    def field_slice(self, reg: str, field: str) -> RegSlice:
+        lo, hi = self._fields[(reg, field)]
+        return RegSlice(reg, lo, hi)
+
+    def parser_view(self) -> RegistryView:
+        files = {n for n, i in self._registers.items() if i.file_size is not None}
+        return RegistryView(set(self._registers), files, self._fields)
+
+
+def power_registry() -> Registry:
+    """The registers of the POWER fixed-point and branch facilities."""
+    registry = Registry()
+    registry.add(RegisterInfo("GPR", 0, 64, file_size=32))
+    registry.add(RegisterInfo("CR", 32, 32))
+    registry.add(RegisterInfo("XER", 0, 64))
+    registry.add(RegisterInfo("LR", 0, 64))
+    registry.add(RegisterInfo("CTR", 0, 64))
+    registry.add(RegisterInfo("CIA", 0, 64))
+    registry.add(RegisterInfo("NIA", 0, 64))
+    # XER flag bits (Power ISA 2.06B numbering).
+    registry.add_field("XER", "SO", 32, 32)
+    registry.add_field("XER", "OV", 33, 33)
+    registry.add_field("XER", "CA", 34, 34)
+    return registry
+
+
+# Flag-bit positions inside each 4-bit CRn field.
+CR_LT, CR_GT, CR_EQ, CR_SO = 0, 1, 2, 3
+
+
+def cr_field_slice(field_index: int) -> RegSlice:
+    """The ``RegSlice`` of condition-register field CRn (n = 0..7)."""
+    if not 0 <= field_index < 8:
+        raise ValueError(f"CR field index {field_index} out of range")
+    lo = 32 + 4 * field_index
+    return RegSlice("CR", lo, lo + 3)
+
+
+#: Registers whose reads/writes never create dependencies (section 2.1.4).
+PSEUDO_REGISTERS = frozenset({"CIA", "NIA"})

@@ -1,0 +1,20 @@
+"""Litmus-test front-end: parser, corpus, and the exhaustive runner."""
+
+from .library import CorpusEntry, by_name, corpus, families
+from .parser import LitmusSyntaxError, parse_litmus
+from .runner import LitmusResult, build_system, run_litmus
+from .test import LitmusTest, evaluate_condition
+
+__all__ = [
+    "CorpusEntry",
+    "LitmusResult",
+    "LitmusSyntaxError",
+    "LitmusTest",
+    "build_system",
+    "by_name",
+    "corpus",
+    "evaluate_condition",
+    "families",
+    "parse_litmus",
+    "run_litmus",
+]

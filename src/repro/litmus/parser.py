@@ -1,0 +1,268 @@
+"""Parser for the herdtools ``.litmus`` format (POWER flavour).
+
+Follows the front-end of Maranget et al.'s herdtools (section 6 of the
+paper): a header line ``POWER <name>``, an initial-state block in braces,
+a table of per-thread instruction columns separated by ``|`` with rows
+terminated by ``;``, and a final condition (``exists``/``forall``/
+``~exists``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple, Union
+
+from .test import (
+    And,
+    Condition,
+    LitmusTest,
+    MemoryEquals,
+    Not,
+    Or,
+    RegisterEquals,
+    TrueCondition,
+)
+
+
+class LitmusSyntaxError(Exception):
+    """Malformed litmus source."""
+
+
+_DOUBLEWORD_MNEMONICS = re.compile(
+    r"\b(ld|ldu|ldx|ldux|std|stdu|stdx|stdux|ldarx|stdcx\.|ldbrx|stdbrx|lwa|lwax|lwaux)\b"
+)
+
+
+def parse_litmus(source: str) -> LitmusTest:
+    lines = source.splitlines()
+    index = 0
+
+    # -- header ---------------------------------------------------------
+    while index < len(lines) and not lines[index].strip():
+        index += 1
+    if index >= len(lines):
+        raise LitmusSyntaxError("empty litmus file")
+    header = lines[index].split()
+    if len(header) < 2:
+        raise LitmusSyntaxError(f"bad header {lines[index]!r}")
+    arch, name = header[0], header[1]
+    index += 1
+
+    # -- skip description/metadata until '{' -----------------------------
+    while index < len(lines) and "{" not in lines[index]:
+        index += 1
+    if index >= len(lines):
+        raise LitmusSyntaxError("missing initial-state block")
+
+    # -- initial state ----------------------------------------------------
+    init_text_parts: List[str] = []
+    line = lines[index][lines[index].index("{") + 1 :]
+    while "}" not in line:
+        init_text_parts.append(line)
+        index += 1
+        if index >= len(lines):
+            raise LitmusSyntaxError("unterminated initial-state block")
+        line = lines[index]
+    init_text_parts.append(line[: line.index("}")])
+    index += 1
+    init_registers, init_memory = _parse_init(";".join(init_text_parts))
+
+    # -- code table --------------------------------------------------------
+    code_lines: List[str] = []
+    while index < len(lines):
+        stripped = lines[index].strip()
+        if stripped.startswith(("exists", "forall", "~exists", "locations")):
+            break
+        if stripped:
+            code_lines.append(stripped)
+        index += 1
+    programs = _parse_code(code_lines)
+
+    # -- condition -----------------------------------------------------------
+    condition_text = " ".join(lines[index:]).strip()
+    # 'locations [...]' preambles are informative; drop them.
+    condition_text = re.sub(r"locations\s*\[[^\]]*\]", "", condition_text).strip()
+    quantifier, condition = _parse_condition(condition_text)
+
+    return LitmusTest(
+        name=name,
+        arch=arch,
+        programs=programs,
+        init_registers=init_registers,
+        init_memory=init_memory,
+        quantifier=quantifier,
+        condition=condition,
+        source=source,
+        doubleword=any(
+            _DOUBLEWORD_MNEMONICS.search(line)
+            for program in programs
+            for line in program
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Initial state
+# ----------------------------------------------------------------------
+
+
+def _parse_init(
+    text: str,
+) -> Tuple[Dict[int, Dict[str, Union[int, str]]], Dict[str, int]]:
+    registers: Dict[int, Dict[str, Union[int, str]]] = {}
+    memory: Dict[str, int] = {}
+    for entry in text.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        if "=" not in entry:
+            raise LitmusSyntaxError(f"bad init entry {entry!r}")
+        lhs, rhs = (part.strip() for part in entry.split("=", 1))
+        if ":" in lhs:
+            tid_text, reg = (part.strip() for part in lhs.split(":", 1))
+            tid = int(tid_text)
+            value: Union[int, str]
+            try:
+                value = int(rhs, 0)
+            except ValueError:
+                value = rhs  # symbolic address
+            registers.setdefault(tid, {})[_canonical_register(reg)] = value
+        else:
+            try:
+                memory[lhs] = int(rhs, 0)
+            except ValueError:
+                raise LitmusSyntaxError(
+                    f"memory init {entry!r} must be a constant"
+                )
+    return registers, memory
+
+
+def _canonical_register(reg: str) -> str:
+    reg = reg.strip().lower()
+    if re.fullmatch(r"r\d+", reg):
+        return f"GPR{int(reg[1:])}"
+    if reg in ("lr", "ctr", "cr", "xer"):
+        return reg.upper()
+    raise LitmusSyntaxError(f"unsupported register {reg!r} in init")
+
+
+# ----------------------------------------------------------------------
+# Code table
+# ----------------------------------------------------------------------
+
+
+def _parse_code(code_lines: List[str]) -> List[List[str]]:
+    if not code_lines:
+        raise LitmusSyntaxError("no code section")
+    rows: List[List[str]] = []
+    for line in code_lines:
+        if not line.endswith(";"):
+            raise LitmusSyntaxError(f"code row {line!r} missing ';'")
+        cells = [cell.strip() for cell in line[:-1].split("|")]
+        rows.append(cells)
+    width = len(rows[0])
+    if any(len(row) != width for row in rows):
+        raise LitmusSyntaxError("ragged code table")
+    header = rows[0]
+    if all(re.fullmatch(r"P\d+", cell) for cell in header):
+        rows = rows[1:]
+    programs: List[List[str]] = [[] for _ in range(width)]
+    for row in rows:
+        for column, cell in enumerate(row):
+            if cell:
+                programs[column].append(cell)
+    return programs
+
+
+# ----------------------------------------------------------------------
+# Conditions
+# ----------------------------------------------------------------------
+
+
+class _ConditionParser:
+    def __init__(self, text: str):
+        self._tokens = re.findall(
+            r"/\\|\\/|~|\(|\)|\[|\]|=|[A-Za-z_][A-Za-z0-9_.]*|\d+:\w+|-?\d[xX0-9a-fA-F]*",
+            text,
+        )
+        self._pos = 0
+
+    def _peek(self) -> str:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else ""
+
+    def _next(self) -> str:
+        token = self._peek()
+        self._pos += 1
+        return token
+
+    def parse(self) -> Condition:
+        condition = self._parse_or()
+        if self._peek():
+            raise LitmusSyntaxError(f"trailing condition tokens: {self._peek()!r}")
+        return condition
+
+    def _parse_or(self) -> Condition:
+        left = self._parse_and()
+        while self._peek() == "\\/":
+            self._next()
+            left = Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Condition:
+        left = self._parse_atom()
+        while self._peek() == "/\\":
+            self._next()
+            left = And(left, self._parse_atom())
+        return left
+
+    def _parse_atom(self) -> Condition:
+        token = self._peek()
+        if token == "(":
+            self._next()
+            inner = self._parse_or()
+            if self._next() != ")":
+                raise LitmusSyntaxError("missing ')' in condition")
+            return inner
+        if token == "~":
+            self._next()
+            return Not(self._parse_atom())
+        if token == "true":
+            self._next()
+            return TrueCondition()
+        if token == "[":
+            self._next()
+            location = self._next()
+            if self._next() != "]":
+                raise LitmusSyntaxError("missing ']' in condition")
+            if self._next() != "=":
+                raise LitmusSyntaxError("expected '=' in condition")
+            return MemoryEquals(location, int(self._next(), 0))
+        if re.fullmatch(r"\d+:\w+", token):
+            self._next()
+            tid_text, reg = token.split(":")
+            if self._next() != "=":
+                raise LitmusSyntaxError("expected '=' in condition")
+            return RegisterEquals(
+                int(tid_text), _canonical_register(reg), int(self._next(), 0)
+            )
+        if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.]*", token):
+            self._next()
+            if self._next() != "=":
+                raise LitmusSyntaxError("expected '=' in condition")
+            return MemoryEquals(token, int(self._next(), 0))
+        raise LitmusSyntaxError(f"bad condition token {token!r}")
+
+
+def _parse_condition(text: str) -> Tuple[str, Condition]:
+    text = text.strip()
+    if not text:
+        return "exists", TrueCondition()
+    if text.startswith("~exists"):
+        quantifier, rest = "not exists", text[len("~exists") :]
+    elif text.startswith("exists"):
+        quantifier, rest = "exists", text[len("exists") :]
+    elif text.startswith("forall"):
+        quantifier, rest = "forall", text[len("forall") :]
+    else:
+        raise LitmusSyntaxError(f"bad condition {text!r}")
+    return quantifier, _ConditionParser(rest).parse()

@@ -1,0 +1,213 @@
+"""Exhaustive analysis of (partially executed) instruction states.
+
+Section 2.2 of the paper: "To calculate the potential register and memory
+footprints of an instruction (from either its initial state or a partially
+executed state) we can simply run the interpreter exhaustively, feeding in a
+distinguished unknown value to the continuations for any reads".
+
+The thread model uses this for:
+
+  * static ``regs_in`` / ``regs_out`` footprints at fetch time (needed to
+    decide when register reads must block, section 2.1.2);
+  * possible next-instruction addresses (NIA values) for speculative fetch;
+  * dynamic re-calculation of the potential memory footprint of an
+    instruction in progress, after some but not all of its register reads
+    are resolved (section 2.1.6 -- this is what lets ``LB+datas+WW`` go
+    ahead while blocking ``LB+addrs+WW``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from .interp import Interp, InterpState, LiftedBranch, resume
+from .outcomes import (
+    Barrier,
+    Done,
+    ReadMem,
+    ReadReg,
+    RegSlice,
+    WriteMem,
+    WriteReg,
+)
+from .values import Bits, FALSE, TRUE
+
+#: Pseudo-registers that never contribute to footprints (section 2.1.4).
+_PSEUDO = ("CIA", "NIA")
+
+#: Cap on distinct analysis paths; instructions in our corpus are small, so
+#: hitting this indicates a modelling bug rather than a big instruction.
+_MAX_PATHS = 4096
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """Everything the thread model needs to know about an instruction's future.
+
+    Memory footprints are sets of (address, size) pairs; ``*_undetermined``
+    records that some path's address involved unresolved bits, in which case
+    the instruction "might access anything" until more reads resolve.
+    """
+
+    regs_in: FrozenSet[RegSlice]
+    regs_out: FrozenSet[RegSlice]
+    mem_reads: FrozenSet[Tuple[int, int]]
+    mem_reads_undetermined: bool
+    mem_writes: FrozenSet[Tuple[int, int]]
+    mem_writes_undetermined: bool
+    barriers: FrozenSet[str]
+    nias: FrozenSet[int]
+    nia_fallthrough: bool
+    nia_indirect: bool
+    reads_reserve: bool
+    writes_conditional: bool
+
+    @property
+    def is_load(self) -> bool:
+        return bool(self.mem_reads) or self.mem_reads_undetermined
+
+    @property
+    def is_store(self) -> bool:
+        return bool(self.mem_writes) or self.mem_writes_undetermined
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def memory_determined(self) -> bool:
+        """True when every possible memory access has a concrete footprint."""
+        return not (self.mem_reads_undetermined or self.mem_writes_undetermined)
+
+    def may_write_reg(self, target: RegSlice) -> bool:
+        return any(out.overlaps(target) for out in self.regs_out)
+
+    def may_touch_memory(self, addr: int, size: int) -> bool:
+        """Could any possible access of this instruction overlap [addr, addr+size)?"""
+        if self.mem_reads_undetermined or self.mem_writes_undetermined:
+            return True
+        for base, length in self.mem_reads | self.mem_writes:
+            if base < addr + size and addr < base + length:
+                return True
+        return False
+
+    def may_write_memory(self, addr: int, size: int) -> bool:
+        if self.mem_writes_undetermined:
+            return True
+        return any(
+            base < addr + size and addr < base + length
+            for base, length in self.mem_writes
+        )
+
+
+class FootprintAnalysis:
+    """Exhaustive-interpretation analysis with per-state memoisation."""
+
+    def __init__(self, interp: Interp):
+        self._interp = interp
+        self._cache = {}
+
+    def analyze(self, state: InterpState, cia: Optional[int] = None) -> Footprint:
+        """Explore all executions from ``state``, summarising the footprint."""
+        key = (state, cia)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        footprint = self._run(state, cia)
+        self._cache[key] = footprint
+        return footprint
+
+    def _run(self, state: InterpState, cia: Optional[int]) -> Footprint:
+        regs_in = set()
+        regs_out = set()
+        mem_reads = set()
+        mem_writes = set()
+        barriers = set()
+        nias = set()
+        reads_undet = writes_undet = False
+        nia_fallthrough = nia_indirect = False
+        reads_reserve = writes_conditional = False
+
+        pending = [(state, False)]  # (state, wrote_nia_on_this_path)
+        paths = 0
+        while pending:
+            current, wrote_nia = pending.pop()
+            paths += 1
+            if paths > _MAX_PATHS:
+                raise RuntimeError("footprint analysis path explosion")
+            try:
+                outcome = self._interp.run_to_outcome(current, fork_on_lifted=True)
+            except LiftedBranch as fork:
+                pending.extend((s, wrote_nia) for s in fork.states)
+                continue
+            if isinstance(outcome, Done):
+                if not wrote_nia:
+                    nia_fallthrough = True
+                continue
+            if isinstance(outcome, ReadReg):
+                reg_slice = outcome.slice
+                if reg_slice.reg == "CIA" and cia is not None:
+                    value = Bits.from_int(cia, 64)
+                else:
+                    if reg_slice.reg not in _PSEUDO:
+                        regs_in.add(reg_slice)
+                    value = Bits.unknown(reg_slice.width)
+                pending.append((resume(outcome.state, value), wrote_nia))
+                continue
+            if isinstance(outcome, WriteReg):
+                reg_slice = outcome.slice
+                if reg_slice.reg == "NIA":
+                    wrote_nia = True
+                    if outcome.value.is_known:
+                        nias.add(outcome.value.to_int())
+                    else:
+                        nia_indirect = True
+                elif reg_slice.reg not in _PSEUDO:
+                    regs_out.add(reg_slice)
+                pending.append((resume(outcome.state, None), wrote_nia))
+                continue
+            if isinstance(outcome, ReadMem):
+                if outcome.kind == "reserve":
+                    reads_reserve = True
+                if outcome.addr.is_known:
+                    mem_reads.add((outcome.addr.to_int(), outcome.size))
+                else:
+                    reads_undet = True
+                value = Bits.unknown(8 * outcome.size)
+                pending.append((resume(outcome.state, value), wrote_nia))
+                continue
+            if isinstance(outcome, WriteMem):
+                if outcome.kind == "conditional":
+                    writes_conditional = True
+                if outcome.addr.is_known:
+                    mem_writes.add((outcome.addr.to_int(), outcome.size))
+                else:
+                    writes_undet = True
+                if outcome.kind == "conditional":
+                    # Explore both success and failure continuations.
+                    pending.append((resume(outcome.state, TRUE), wrote_nia))
+                    pending.append((resume(outcome.state, FALSE), wrote_nia))
+                else:
+                    pending.append((resume(outcome.state, None), wrote_nia))
+                continue
+            if isinstance(outcome, Barrier):
+                barriers.add(outcome.kind)
+                pending.append((resume(outcome.state, None), wrote_nia))
+                continue
+            raise RuntimeError(f"unexpected outcome {outcome!r}")
+
+        return Footprint(
+            regs_in=frozenset(regs_in),
+            regs_out=frozenset(regs_out),
+            mem_reads=frozenset(mem_reads),
+            mem_reads_undetermined=reads_undet,
+            mem_writes=frozenset(mem_writes),
+            mem_writes_undetermined=writes_undet,
+            barriers=frozenset(barriers),
+            nias=frozenset(nias),
+            nia_fallthrough=nia_fallthrough,
+            nia_indirect=nia_indirect,
+            reads_reserve=reads_reserve,
+            writes_conditional=writes_conditional,
+        )

@@ -1,0 +1,273 @@
+"""Abstract syntax for the Sail instruction description language.
+
+This is the deep embedding described in section 2.2 of the paper: a typed
+instruction description is represented as a term of this AST type, and the
+interpreter (``repro.sail.interp``) gives it semantics with the outcome-based
+interface to the concurrency model.
+
+Nodes are immutable dataclasses.  The ISA model parses every instruction's
+pseudocode exactly once (``repro.isa.model``), so node *identity* is stable
+and is used when hashing interpreter states for memoisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .values import Bits
+
+
+class SailSyntaxError(Exception):
+    """Raised by the lexer/parser on malformed Sail source."""
+
+
+# ----------------------------------------------------------------------
+# Types (section 3: vector<start, length, direction, bit> etc., restricted
+# to the forms the POWER corpus needs)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Type:
+    """A Sail type: ``bit[n]`` (kind='bits'), ``int``, or ``bool``."""
+
+    kind: str
+    width: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.kind == "bits":
+            return f"bit[{self.width}]"
+        return self.kind
+
+
+BIT = Type("bits", 1)
+INT = Type("int")
+BOOL = Type("bool")
+
+
+def bits_type(width: int) -> Type:
+    return Type("bits", width)
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, eq=False)
+class Lit(Expr):
+    """A bitvector literal (``0b0101``, ``0x1F`` with explicit width)."""
+
+    value: Bits
+
+
+@dataclass(frozen=True, eq=False)
+class IntLit(Expr):
+    """An integer literal (decimal, used for indices/counts)."""
+
+    value: int
+
+
+@dataclass(frozen=True, eq=False)
+class Var(Expr):
+    """A local variable or instruction-field reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class RegSpec:
+    """A (possibly computed) register slice reference.
+
+    ``name``  -- architected register file or register name (GPR, CR, XER...)
+    ``index`` -- optional index expression for register files (``GPR[RA]``)
+    ``lo``/``hi`` -- optional bit-range expressions in the register's own
+                     POWER numbering (``CR[4*BF+32 .. 4*BF+35]``)
+    """
+
+    name: str
+    index: Optional[Expr] = None
+    lo: Optional[Expr] = None
+    hi: Optional[Expr] = None
+
+
+@dataclass(frozen=True, eq=False)
+class RegRead(Expr):
+    reg: RegSpec
+
+
+@dataclass(frozen=True, eq=False)
+class MemRead(Expr):
+    """``MEMr(addr, size)`` or ``MEMr_reserve(addr, size)``."""
+
+    kind: str  # "plain" | "reserve"
+    addr: Expr
+    size: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class StoreConditional(Expr):
+    """``STORE_CONDITIONAL(addr, size, value)`` -- evaluates to a success bit."""
+
+    addr: Expr
+    size: Expr
+    value: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Unop(Expr):
+    op: str  # "~" | "-"
+    operand: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Binop(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class SliceExpr(Expr):
+    """``e[lo .. hi]`` in POWER bit numbering relative to e's MSB=0."""
+
+    operand: Expr
+    lo: Expr
+    hi: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class IndexExpr(Expr):
+    """``e[i]`` -- a single bit."""
+
+    operand: Expr
+    index: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Call(Expr):
+    """A builtin function application (EXTS, EXTZ, ROTL, to_num, ...)."""
+
+    func: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True, eq=False)
+class IfExpr(Expr):
+    cond: Expr
+    then: Expr
+    orelse: Expr
+
+
+# ----------------------------------------------------------------------
+# L-values
+# ----------------------------------------------------------------------
+
+
+class LValue:
+    __slots__ = ()
+
+
+@dataclass(frozen=True, eq=False)
+class VarLHS(LValue):
+    name: str
+
+
+@dataclass(frozen=True, eq=False)
+class VarSliceLHS(LValue):
+    name: str
+    lo: Expr
+    hi: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class RegLHS(LValue):
+    reg: RegSpec
+
+
+@dataclass(frozen=True, eq=False)
+class MemLHS(LValue):
+    """``MEMw(addr, size) := value``."""
+
+    addr: Expr
+    size: Expr
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+class Stmt:
+    __slots__ = ()
+
+
+@dataclass(frozen=True, eq=False)
+class Decl(Stmt):
+    """``(bit[64]) EA := e;`` -- typed local declaration with initialiser."""
+
+    name: str
+    typ: Type
+    init: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Assign(Stmt):
+    lhs: LValue
+    value: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    orelse: Optional[Stmt]
+
+
+@dataclass(frozen=True, eq=False)
+class Block(Stmt):
+    body: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True, eq=False)
+class Foreach(Stmt):
+    """``foreach (i from e1 to e2) s`` (or ``downto``)."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    downto: bool
+    body: Stmt
+
+
+@dataclass(frozen=True, eq=False)
+class BarrierStmt(Stmt):
+    """Signals a memory-barrier event to the concurrency model."""
+
+    kind: str  # "sync" | "lwsync" | "eieio" | "isync"
+
+
+@dataclass(frozen=True, eq=False)
+class Nop(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class FunctionClause:
+    """``function clause execute (Name (F1, F2, ...)) = body``.
+
+    ``fields`` carries the field names in AST-constructor order; their widths
+    come from the instruction's encoding specification.
+    """
+
+    function: str
+    ast_name: str
+    fields: Tuple[str, ...]
+    body: Stmt

@@ -1,0 +1,150 @@
+"""The interface between the ISA semantics and the concurrency model.
+
+This mirrors the Lem ``outcome`` type of section 2.2 of the paper:
+
+    type outcome =
+      | Read_mem of address*size*(memval -> instruction_state)
+      | Write_mem of address*size*memval*instruction_state
+      | Barrier of barrier_kind*instruction_state
+      | Read_reg of reg_slice*(regval -> instruction_state)
+      | Write_reg of reg_slice*regval*instruction_state
+      | Internal of instruction_state
+      | Done
+
+Continuations are represented as interpreter states with a hole: resuming is
+``interp.resume(outcome.state, value)``.  This keeps outcomes picklable,
+hashable and snapshot-friendly, which the exhaustive explorer relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .values import Bits
+
+
+@dataclass(frozen=True, order=True)
+class RegSlice:
+    """A bit-range of an architected register, in its own POWER numbering.
+
+    ``reg`` is a concrete register instance name (``GPR5``, ``CR``, ``XER``,
+    ``LR``, ``CTR``, ``CIA``, ``NIA``).  ``lo``/``hi`` are inclusive bit
+    indices; for a 64-bit register these span 0..63, while CR spans 32..63
+    (the POWER numbering used by the vendor documentation).
+    """
+
+    reg: str
+    lo: int
+    hi: int
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo + 1
+
+    def overlaps(self, other: "RegSlice") -> bool:
+        return (
+            self.reg == other.reg
+            and self.lo <= other.hi
+            and other.lo <= self.hi
+        )
+
+    def contains(self, other: "RegSlice") -> bool:
+        return (
+            self.reg == other.reg
+            and self.lo <= other.lo
+            and other.hi <= self.hi
+        )
+
+    def intersection(self, other: "RegSlice") -> Optional["RegSlice"]:
+        if not self.overlaps(other):
+            return None
+        return RegSlice(self.reg, max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def __str__(self) -> str:
+        if self.lo == self.hi:
+            return f"{self.reg}[{self.lo}]"
+        return f"{self.reg}[{self.lo}..{self.hi}]"
+
+
+class Outcome:
+    """Base class of the outcome union."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ReadMem(Outcome):
+    """A pending memory read; resume with the ``Bits`` value read.
+
+    ``addr`` is lifted: the concrete model requires it fully known, while the
+    exhaustive footprint analysis may see ``unknown`` address bits (meaning
+    the footprint is not yet determined).  ``kind`` is ``plain`` or
+    ``reserve`` (load-reserve, e.g. ``lwarx``).
+    """
+
+    kind: str
+    addr: Bits
+    size: int
+    state: object
+
+
+@dataclass(frozen=True)
+class WriteMem(Outcome):
+    """A memory write.  ``kind`` is ``plain`` or ``conditional``.
+
+    Plain writes resume with ``None``; conditional writes (store-conditional,
+    e.g. ``stwcx.``) resume with a ``bit[1]`` success flag supplied by the
+    concurrency model.
+    """
+
+    kind: str
+    addr: Bits
+    size: int
+    value: Bits
+    state: object
+
+
+@dataclass(frozen=True)
+class Barrier(Outcome):
+    """A memory-barrier event (sync / lwsync / eieio / isync); resume with None."""
+
+    kind: str
+    state: object
+
+
+@dataclass(frozen=True)
+class ReadReg(Outcome):
+    """A pending register read; resume with the ``Bits`` for the slice."""
+
+    slice: RegSlice
+    state: object
+
+
+@dataclass(frozen=True)
+class WriteReg(Outcome):
+    """A register write; resume with ``None``."""
+
+    slice: RegSlice
+    value: Bits
+    state: object
+
+
+@dataclass(frozen=True)
+class Internal(Outcome):
+    """One internal computation step; ``state`` is the next state."""
+
+    state: object
+
+
+@dataclass(frozen=True)
+class Done(Outcome):
+    """The instruction's pseudocode has completed."""
+
+
+MEM_READ_PLAIN = "plain"
+MEM_READ_RESERVE = "reserve"
+MEM_WRITE_PLAIN = "plain"
+MEM_WRITE_CONDITIONAL = "conditional"
+
+BARRIER_KINDS: Tuple[str, ...] = ("sync", "lwsync", "eieio", "isync")

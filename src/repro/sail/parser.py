@@ -1,0 +1,413 @@
+"""Recursive-descent parser for the Sail instruction description language.
+
+The parser is parameterised by a register registry (``repro.isa.registers``)
+so that it can distinguish register references (``GPR[RA]``, ``CR[32..35]``,
+``XER.SO``) from local variables, and fold register bit-ranges into the
+``RegSpec`` so the model sees precise, bit-granular register footprints
+(section 2.1.4 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .ast import (
+    Assign,
+    BarrierStmt,
+    Binop,
+    Block,
+    Call,
+    Decl,
+    Expr,
+    Foreach,
+    FunctionClause,
+    If,
+    IfExpr,
+    IndexExpr,
+    IntLit,
+    LValue,
+    Lit,
+    MemLHS,
+    MemRead,
+    Nop,
+    RegLHS,
+    RegRead,
+    RegSpec,
+    SailSyntaxError,
+    SliceExpr,
+    Stmt,
+    StoreConditional,
+    Type,
+    Unop,
+    Var,
+    VarLHS,
+    VarSliceLHS,
+    bits_type,
+    BOOL,
+    INT,
+)
+from .lexer import Token, tokenize
+from .values import Bits
+
+BARRIER_STATEMENTS = {
+    "BARRIER_SYNC": "sync",
+    "BARRIER_LWSYNC": "lwsync",
+    "BARRIER_EIEIO": "eieio",
+    "BARRIER_ISYNC": "isync",
+}
+
+# Binary operator precedence levels, loosest first.
+_BINOP_LEVELS: Sequence[Sequence[str]] = (
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!=", "<", ">", "<=", ">=", "<u", ">u", "<=u", ">=u"),
+    (":",),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+
+class RegistryView:
+    """The slice of register-registry knowledge the parser needs."""
+
+    def __init__(self, reg_names, reg_files, reg_fields):
+        self.reg_names = frozenset(reg_names)
+        self.reg_files = frozenset(reg_files)
+        self.reg_fields = dict(reg_fields)  # (reg, field) -> (lo, hi)
+
+
+class Parser:
+    def __init__(self, tokens: List[Token], registry: RegistryView):
+        self._tokens = tokens
+        self._pos = 0
+        self._registry = registry
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._accept(kind, text)
+        if token is None:
+            actual = self._peek()
+            wanted = text or kind
+            raise SailSyntaxError(
+                f"expected {wanted!r} but found {actual.text!r} "
+                f"at line {actual.line}, column {actual.col}"
+            )
+        return token
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def parse_function_clause(self) -> FunctionClause:
+        self._expect("keyword", "function")
+        self._expect("keyword", "clause")
+        func_token = self._peek()
+        if func_token.kind == "keyword" and func_token.text == "execute":
+            self._next()
+            func = "execute"
+        else:
+            func = self._expect("ident").text
+        self._expect("op", "(")
+        ast_name = self._expect("ident").text
+        fields: Tuple[str, ...] = ()
+        if self._accept("op", "("):
+            names = [self._expect("ident").text]
+            while self._accept("op", ","):
+                names.append(self._expect("ident").text)
+            self._expect("op", ")")
+            fields = tuple(names)
+        self._expect("op", ")")
+        self._expect("op", "=")
+        body = self.parse_statement()
+        self._expect("eof")
+        return FunctionClause(func, ast_name, fields, body)
+
+    def parse_block_source(self) -> Stmt:
+        """Parse a bare statement (used for standalone pseudocode bodies)."""
+        stmt = self.parse_statement()
+        self._accept("op", ";")
+        self._expect("eof")
+        return stmt
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse_statement(self) -> Stmt:
+        token = self._peek()
+        if token.kind == "op" and token.text == "{":
+            return self._parse_block()
+        if token.kind == "keyword" and token.text == "if":
+            return self._parse_if_statement()
+        if token.kind == "keyword" and token.text == "foreach":
+            return self._parse_foreach()
+        if token.kind == "op" and token.text == "(":
+            return self._parse_declaration()
+        if token.kind == "ident":
+            return self._parse_assignment_or_call()
+        raise SailSyntaxError(
+            f"cannot start a statement with {token.text!r} "
+            f"at line {token.line}, column {token.col}"
+        )
+
+    def _parse_block(self) -> Stmt:
+        self._expect("op", "{")
+        body: List[Stmt] = []
+        while not self._accept("op", "}"):
+            body.append(self.parse_statement())
+            if not self._accept("op", ";"):
+                self._expect("op", "}")
+                break
+        return Block(tuple(body))
+
+    def _parse_if_statement(self) -> Stmt:
+        self._expect("keyword", "if")
+        cond = self.parse_expression()
+        self._expect("keyword", "then")
+        then = self.parse_statement()
+        orelse: Optional[Stmt] = None
+        if self._accept("keyword", "else"):
+            orelse = self.parse_statement()
+        return If(cond, then, orelse)
+
+    def _parse_foreach(self) -> Stmt:
+        self._expect("keyword", "foreach")
+        self._expect("op", "(")
+        var = self._expect("ident").text
+        self._expect("keyword", "from")
+        start = self.parse_expression()
+        downto = False
+        if self._accept("keyword", "downto"):
+            downto = True
+        else:
+            self._expect("keyword", "to")
+        stop = self.parse_expression()
+        self._expect("op", ")")
+        body = self.parse_statement()
+        return Foreach(var, start, stop, downto, body)
+
+    def _parse_declaration(self) -> Stmt:
+        self._expect("op", "(")
+        typ = self._parse_type()
+        self._expect("op", ")")
+        name = self._expect("ident").text
+        self._expect("op", ":=")
+        init = self.parse_expression()
+        return Decl(name, typ, init)
+
+    def _parse_type(self) -> Type:
+        if self._accept("keyword", "int"):
+            return INT
+        if self._accept("keyword", "bool"):
+            return BOOL
+        self._expect("keyword", "bit")
+        if self._accept("op", "["):
+            width_token = self._expect("int")
+            self._expect("op", "]")
+            return bits_type(int(width_token.value))
+        return bits_type(1)
+
+    def _parse_assignment_or_call(self) -> Stmt:
+        name_token = self._expect("ident")
+        name = name_token.text
+        if name in BARRIER_STATEMENTS:
+            self._expect("op", "(")
+            self._expect("op", ")")
+            return BarrierStmt(BARRIER_STATEMENTS[name])
+        if name == "NOP":
+            self._expect("op", "(")
+            self._expect("op", ")")
+            return Nop()
+        if name == "MEMw":
+            self._expect("op", "(")
+            addr = self.parse_expression()
+            self._expect("op", ",")
+            size = self.parse_expression()
+            self._expect("op", ")")
+            self._expect("op", ":=")
+            value = self.parse_expression()
+            return Assign(MemLHS(addr, size), value)
+        lhs = self._parse_lvalue_tail(name_token)
+        self._expect("op", ":=")
+        value = self.parse_expression()
+        return Assign(lhs, value)
+
+    def _parse_lvalue_tail(self, name_token: Token) -> LValue:
+        name = name_token.text
+        registry = self._registry
+        if name in registry.reg_names:
+            return RegLHS(self._parse_regspec_tail(name))
+        if self._accept("op", "["):
+            lo = self.parse_expression()
+            if self._accept("op", ".."):
+                hi = self.parse_expression()
+                self._expect("op", "]")
+                return VarSliceLHS(name, lo, hi)
+            self._expect("op", "]")
+            return VarSliceLHS(name, lo, lo)
+        return VarLHS(name)
+
+    def _parse_regspec_tail(self, name: str) -> RegSpec:
+        registry = self._registry
+        index: Optional[Expr] = None
+        lo: Optional[Expr] = None
+        hi: Optional[Expr] = None
+        if name in registry.reg_files:
+            self._expect("op", "[")
+            index = self.parse_expression()
+            self._expect("op", "]")
+        elif self._accept("op", "["):
+            lo = self.parse_expression()
+            if self._accept("op", ".."):
+                hi = self.parse_expression()
+            else:
+                hi = lo
+            self._expect("op", "]")
+        elif self._accept("op", "."):
+            field = self._expect("ident").text
+            try:
+                lo_bit, hi_bit = registry.reg_fields[(name, field)]
+            except KeyError:
+                raise SailSyntaxError(f"unknown register field {name}.{field}")
+            lo, hi = IntLit(lo_bit), IntLit(hi_bit)
+        return RegSpec(name, index, lo, hi)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        if self._peek().kind == "keyword" and self._peek().text == "if":
+            self._next()
+            cond = self.parse_expression()
+            self._expect("keyword", "then")
+            then = self.parse_expression()
+            self._expect("keyword", "else")
+            orelse = self.parse_expression()
+            return IfExpr(cond, then, orelse)
+        return self._parse_binop(0)
+
+    def _parse_binop(self, level: int) -> Expr:
+        if level >= len(_BINOP_LEVELS):
+            return self._parse_unary()
+        ops = _BINOP_LEVELS[level]
+        left = self._parse_binop(level + 1)
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in ops:
+                # A ':' immediately followed by '=' is never concat.
+                self._next()
+                right = self._parse_binop(level + 1)
+                left = Binop(token.text, left, right)
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        if self._accept("op", "~"):
+            return Unop("~", self._parse_unary())
+        if self._accept("op", "-"):
+            return Unop("-", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text == "[":
+                self._next()
+                lo = self.parse_expression()
+                if self._accept("op", ".."):
+                    hi = self.parse_expression()
+                    self._expect("op", "]")
+                    expr = SliceExpr(expr, lo, hi)
+                else:
+                    self._expect("op", "]")
+                    expr = IndexExpr(expr, lo)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "bits":
+            self._next()
+            return Lit(Bits.from_string(token.value))
+        if token.kind == "int":
+            self._next()
+            return IntLit(int(token.value))
+        if token.kind == "op" and token.text == "(":
+            self._next()
+            expr = self.parse_expression()
+            self._expect("op", ")")
+            return expr
+        if token.kind == "keyword" and token.text == "if":
+            return self.parse_expression()
+        if token.kind == "ident":
+            return self._parse_ident_expression()
+        raise SailSyntaxError(
+            f"unexpected token {token.text!r} in expression "
+            f"at line {token.line}, column {token.col}"
+        )
+
+    def _parse_ident_expression(self) -> Expr:
+        name = self._expect("ident").text
+        registry = self._registry
+        if name == "MEMr" or name == "MEMr_reserve":
+            self._expect("op", "(")
+            addr = self.parse_expression()
+            self._expect("op", ",")
+            size = self.parse_expression()
+            self._expect("op", ")")
+            kind = "reserve" if name == "MEMr_reserve" else "plain"
+            return MemRead(kind, addr, size)
+        if name == "STORE_CONDITIONAL":
+            self._expect("op", "(")
+            addr = self.parse_expression()
+            self._expect("op", ",")
+            size = self.parse_expression()
+            self._expect("op", ",")
+            value = self.parse_expression()
+            self._expect("op", ")")
+            return StoreConditional(addr, size, value)
+        if name in registry.reg_names:
+            spec = self._parse_regspec_tail(name)
+            return RegRead(spec)
+        if self._peek().kind == "op" and self._peek().text == "(":
+            self._next()
+            args: List[Expr] = []
+            if not (self._peek().kind == "op" and self._peek().text == ")"):
+                args.append(self.parse_expression())
+                while self._accept("op", ","):
+                    args.append(self.parse_expression())
+            self._expect("op", ")")
+            return Call(name, tuple(args))
+        return Var(name)
+
+
+def parse_execute_clause(source: str, registry: RegistryView) -> FunctionClause:
+    """Parse a ``function clause execute (...) = body`` definition."""
+    return Parser(tokenize(source), registry).parse_function_clause()
+
+
+def parse_statement(source: str, registry: RegistryView) -> Stmt:
+    """Parse a bare pseudocode statement (for tests and small fragments)."""
+    return Parser(tokenize(source), registry).parse_block_source()

@@ -1,0 +1,419 @@
+"""Static type checking for Sail instruction descriptions (section 3).
+
+The paper's Sail has dependent vector types ``vector<s,l,d,t>`` with an ad
+hoc arithmetic constraint solver.  Our corpus needs the decidable core:
+widths that are either statically known integers or statically *unknown*
+(dependent on field values, e.g. ``MASK(to_num(MB)+32, ...)``), with
+inference so instruction bodies need almost no annotations.
+
+The checker validates, per execute clause:
+
+  * declared widths match initialiser widths (where both are known);
+  * operator operands are compatible (bitwise ops need equal known widths);
+  * register reads/writes use registers from the registry, with constant
+    bit-ranges inside the register's span;
+  * builtins are applied at the right arity;
+  * every variable is bound before use (instruction fields are parameters).
+
+Anything width-dependent on runtime values degrades to ``UNKNOWN`` and is
+checked dynamically by the interpreter -- mirroring the paper's split
+between the type system and the interpreter's defensive checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from . import ast
+
+
+class SailTypeError(Exception):
+    """A static inconsistency in Sail pseudocode."""
+
+
+@dataclass(frozen=True)
+class TcType:
+    """Inferred type: kind 'bits' (width known or None), 'int', or 'bool'."""
+
+    kind: str
+    width: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.kind == "bits":
+            return f"bit[{self.width if self.width is not None else '?'}]"
+        return self.kind
+
+
+INT = TcType("int")
+UNKNOWN_BITS = TcType("bits", None)
+
+
+def bits(width: Optional[int]) -> TcType:
+    return TcType("bits", width)
+
+
+_BUILTIN_ARITIES = {
+    "EXTS": (1, 2),
+    "EXTZ": (1, 2),
+    "MASK": (2, 2),
+    "ROTL": (2, 2),
+    "to_num": (1, 1),
+    "UNDEFINED": (1, 1),
+    "UNKNOWN": (1, 1),
+    "length": (1, 1),
+    "REPLICATE": (2, 2),
+    "MULTIPLY_S": (3, 3),
+    "MULTIPLY_U": (3, 3),
+    "DIVS": (2, 2),
+    "DIVU": (2, 2),
+    "MODU": (2, 2),
+    "COUNT_LEADING_ZEROS": (1, 1),
+}
+
+_COMPARISONS = {"==", "!=", "<", ">", "<=", ">=", "<u", ">u", "<=u", ">=u"}
+
+
+class TypeChecker:
+    """Checks one execute clause against the register registry."""
+
+    def __init__(self, registry):
+        self._registry = registry
+
+    # ------------------------------------------------------------------
+
+    def check_clause(
+        self, clause: ast.FunctionClause, field_widths: Dict[str, int]
+    ) -> None:
+        env: Dict[str, TcType] = {
+            name: bits(width) for name, width in field_widths.items()
+        }
+        self._check_stmt(clause.body, env)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _check_stmt(self, stmt: ast.Stmt, env: Dict[str, TcType]) -> None:
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.body:
+                self._check_stmt(inner, env)
+            return
+        if isinstance(stmt, ast.Decl):
+            init = self._infer(stmt.init, env)
+            declared = self._from_ast_type(stmt.typ)
+            self._check_assignable(declared, init, f"declaration of {stmt.name}")
+            env[stmt.name] = declared
+            return
+        if isinstance(stmt, ast.Assign):
+            self._check_assign(stmt, env)
+            return
+        if isinstance(stmt, ast.If):
+            self._check_condition(stmt.cond, env)
+            self._check_stmt(stmt.then, dict(env))
+            if stmt.orelse is not None:
+                self._check_stmt(stmt.orelse, dict(env))
+            return
+        if isinstance(stmt, ast.Foreach):
+            self._expect_int(stmt.start, env)
+            self._expect_int(stmt.stop, env)
+            body_env = dict(env)
+            body_env[stmt.var] = INT
+            self._check_stmt(stmt.body, body_env)
+            return
+        if isinstance(stmt, (ast.BarrierStmt, ast.Nop)):
+            return
+        raise SailTypeError(f"unknown statement {stmt!r}")
+
+    def _check_assign(self, stmt: ast.Assign, env) -> None:
+        value = self._infer(stmt.value, env)
+        lhs = stmt.lhs
+        if isinstance(lhs, ast.VarLHS):
+            existing = env.get(lhs.name)
+            if existing is not None:
+                self._check_assignable(existing, value, f"assignment to {lhs.name}")
+            else:
+                env[lhs.name] = value
+            return
+        if isinstance(lhs, ast.VarSliceLHS):
+            if lhs.name not in env:
+                raise SailTypeError(f"slice assignment to unbound {lhs.name}")
+            target = env[lhs.name]
+            if target.kind != "bits":
+                raise SailTypeError(f"slice assignment to non-vector {lhs.name}")
+            lo = self._const_int(lhs.lo, env)
+            hi = self._const_int(lhs.hi, env)
+            if lo is not None and hi is not None:
+                if lo > hi:
+                    raise SailTypeError(f"empty slice [{lo}..{hi}] on {lhs.name}")
+                if target.width is not None and hi >= target.width:
+                    raise SailTypeError(
+                        f"slice [{lo}..{hi}] outside {lhs.name}:{target}"
+                    )
+                self._check_assignable(
+                    bits(hi - lo + 1), value, f"slice of {lhs.name}"
+                )
+            self._expect_int(lhs.lo, env)
+            self._expect_int(lhs.hi, env)
+            return
+        if isinstance(lhs, ast.RegLHS):
+            width = self._regspec_width(lhs.reg, env)
+            self._check_assignable(bits(width), value, f"write to {lhs.reg.name}")
+            return
+        if isinstance(lhs, ast.MemLHS):
+            self._expect_bits(lhs.addr, env, 64, "memory write address")
+            size = self._const_int(lhs.size, env)
+            if size is not None and value.kind == "bits" and value.width is not None:
+                if value.width != 8 * size:
+                    raise SailTypeError(
+                        f"memory write of bit[{value.width}] with size {size}"
+                    )
+            return
+        raise SailTypeError(f"unknown l-value {lhs!r}")
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _infer(self, expr: ast.Expr, env) -> TcType:
+        if isinstance(expr, ast.Lit):
+            return bits(expr.value.width)
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.Var):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise SailTypeError(f"unbound variable {expr.name}")
+        if isinstance(expr, ast.RegRead):
+            return bits(self._regspec_width(expr.reg, env))
+        if isinstance(expr, ast.MemRead):
+            self._expect_bits(expr.addr, env, 64, "memory read address")
+            size = self._const_int(expr.size, env)
+            return bits(8 * size if size is not None else None)
+        if isinstance(expr, ast.StoreConditional):
+            self._expect_bits(expr.addr, env, 64, "store-conditional address")
+            self._infer(expr.value, env)
+            return bits(1)
+        if isinstance(expr, ast.Unop):
+            operand = self._infer(expr.operand, env)
+            if expr.op == "~" and operand.kind != "bits":
+                raise SailTypeError("~ applied to a non-vector")
+            return operand
+        if isinstance(expr, ast.Binop):
+            return self._infer_binop(expr, env)
+        if isinstance(expr, ast.SliceExpr):
+            return self._infer_slice(expr, env)
+        if isinstance(expr, ast.IndexExpr):
+            operand = self._infer(expr.operand, env)
+            if operand.kind != "bits":
+                raise SailTypeError("indexing a non-vector")
+            self._expect_int(expr.index, env)
+            return bits(1)
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr, env)
+        if isinstance(expr, ast.IfExpr):
+            self._check_condition(expr.cond, env)
+            then = self._infer(expr.then, env)
+            orelse = self._infer(expr.orelse, env)
+            return self._join(then, orelse, "if-expression arms")
+        raise SailTypeError(f"unknown expression {expr!r}")
+
+    def _infer_binop(self, expr: ast.Binop, env) -> TcType:
+        left = self._infer(expr.left, env)
+        right = self._infer(expr.right, env)
+        op = expr.op
+        if op == ":":
+            if left.kind != "bits" or right.kind != "bits":
+                raise SailTypeError("concatenation of non-vectors")
+            if left.width is None or right.width is None:
+                return UNKNOWN_BITS
+            return bits(left.width + right.width)
+        if op in _COMPARISONS:
+            if left.kind == "bits" and right.kind == "bits":
+                self._join(left, right, f"comparison {op}")
+            return bits(1)
+        if op in ("&", "|", "^"):
+            if left.kind != "bits" or right.kind != "bits":
+                raise SailTypeError(f"bitwise {op} needs vectors")
+            return self._join(left, right, f"bitwise {op}")
+        if op in ("+", "-", "*"):
+            if left.kind == "bits" and right.kind == "bits":
+                return self._join(left, right, f"arithmetic {op}")
+            return INT  # mixed arithmetic is integer arithmetic
+        if op in ("/", "%"):
+            return INT
+        if op in ("<<", ">>"):
+            self._expect_int(expr.right, env)
+            return left
+        raise SailTypeError(f"unknown operator {op}")
+
+    def _infer_slice(self, expr: ast.SliceExpr, env) -> TcType:
+        operand = self._infer(expr.operand, env)
+        if operand.kind != "bits":
+            raise SailTypeError("slicing a non-vector")
+        lo = self._const_int(expr.lo, env)
+        hi = self._const_int(expr.hi, env)
+        self._expect_int(expr.lo, env)
+        self._expect_int(expr.hi, env)
+        if lo is not None and hi is not None:
+            if lo > hi:
+                raise SailTypeError(f"empty slice [{lo}..{hi}]")
+            if operand.width is not None and hi >= operand.width:
+                raise SailTypeError(
+                    f"slice [{lo}..{hi}] outside bit[{operand.width}]"
+                )
+            return bits(hi - lo + 1)
+        return UNKNOWN_BITS
+
+    def _infer_call(self, expr: ast.Call, env) -> TcType:
+        name = expr.func
+        try:
+            low, high = _BUILTIN_ARITIES[name]
+        except KeyError:
+            raise SailTypeError(f"unknown builtin {name}")
+        if not low <= len(expr.args) <= high:
+            raise SailTypeError(
+                f"{name} applied to {len(expr.args)} arguments"
+            )
+        argument_types = [self._infer(a, env) for a in expr.args]
+        if name in ("EXTS", "EXTZ"):
+            if len(expr.args) == 1:
+                return bits(64)
+            width = self._const_int(expr.args[0], env)
+            return bits(width)
+        if name == "MASK":
+            return bits(64)
+        if name in ("ROTL", "REPLICATE"):
+            if name == "ROTL":
+                return argument_types[0]
+            base = argument_types[0]
+            count = self._const_int(expr.args[1], env)
+            if base.width is not None and count is not None:
+                return bits(base.width * count)
+            return UNKNOWN_BITS
+        if name == "to_num" or name == "length":
+            return INT
+        if name in ("UNDEFINED", "UNKNOWN"):
+            return bits(self._const_int(expr.args[0], env))
+        if name in ("MULTIPLY_S", "MULTIPLY_U"):
+            return bits(self._const_int(expr.args[0], env))
+        if name in ("DIVS", "DIVU", "MODU"):
+            return self._join(
+                argument_types[0], argument_types[1], name
+            )
+        if name == "COUNT_LEADING_ZEROS":
+            return argument_types[0]
+        raise SailTypeError(f"unhandled builtin {name}")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _regspec_width(self, spec: ast.RegSpec, env) -> Optional[int]:
+        """Width of a register reference; validates the register exists."""
+        try:
+            info = self._registry.info(spec.name)
+        except KeyError:
+            raise SailTypeError(f"unknown register {spec.name}")
+        if spec.index is not None:
+            self._expect_int(spec.index, env)
+            if info.file_size is None:
+                raise SailTypeError(f"{spec.name} is not a register file")
+        if spec.lo is None:
+            return info.width
+        self._expect_int(spec.lo, env)
+        if spec.hi is not None:
+            self._expect_int(spec.hi, env)
+        lo = self._const_int(spec.lo, env)
+        hi = self._const_int(spec.hi, env) if spec.hi is not None else lo
+        if lo is not None and hi is not None:
+            if not (info.start <= lo <= hi <= info.end):
+                raise SailTypeError(
+                    f"bit range [{lo}..{hi}] outside "
+                    f"{spec.name}[{info.start}..{info.end}]"
+                )
+            return hi - lo + 1
+        return None
+
+    def _from_ast_type(self, typ: ast.Type) -> TcType:
+        if typ.kind == "bits":
+            return bits(typ.width)
+        if typ.kind == "int":
+            return INT
+        if typ.kind == "bool":
+            return bits(1)
+        raise SailTypeError(f"unknown declared type {typ}")
+
+    def _join(self, a: TcType, b: TcType, context: str) -> TcType:
+        if a.kind == "bits" and b.kind == "bits":
+            if a.width is not None and b.width is not None and a.width != b.width:
+                raise SailTypeError(
+                    f"width mismatch in {context}: {a} vs {b}"
+                )
+            return a if a.width is not None else b
+        if a.kind == b.kind:
+            return a
+        if {a.kind, b.kind} == {"bits", "int"}:
+            # Integer literals coerce to vectors on assignment/compare.
+            return a if a.kind == "bits" else b
+        raise SailTypeError(f"type mismatch in {context}: {a} vs {b}")
+
+    def _check_assignable(self, target: TcType, value: TcType, context: str):
+        if target.kind == "bits" and value.kind == "int":
+            return  # integer constants coerce to the declared width
+        if target.kind == "int" and value.kind == "bits":
+            raise SailTypeError(f"{context}: vector assigned to int")
+        self._join(target, value, context)
+
+    def _check_condition(self, expr: ast.Expr, env) -> None:
+        cond = self._infer(expr, env)
+        if cond.kind == "bits" and cond.width not in (1, None):
+            raise SailTypeError(f"condition has type {cond}")
+
+    def _expect_int(self, expr: ast.Expr, env) -> None:
+        inferred = self._infer(expr, env)
+        if inferred.kind not in ("int", "bits"):
+            raise SailTypeError(f"expected an integer, found {inferred}")
+
+    def _expect_bits(self, expr, env, width, context) -> None:
+        inferred = self._infer(expr, env)
+        if inferred.kind == "int":
+            return  # coerced dynamically
+        if inferred.kind != "bits":
+            raise SailTypeError(f"{context}: expected bit[{width}]")
+        if inferred.width is not None and inferred.width != width:
+            raise SailTypeError(
+                f"{context}: expected bit[{width}], found {inferred}"
+            )
+
+    def _const_int(self, expr: ast.Expr, env) -> Optional[int]:
+        """Statically evaluate simple integer expressions where possible."""
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.Binop) and expr.op in ("+", "-", "*"):
+            left = self._const_int(expr.left, env)
+            right = self._const_int(expr.right, env)
+            if left is None or right is None:
+                return None
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            return left * right
+        return None
+
+
+def check_corpus(model) -> int:
+    """Type-check every instruction's pseudocode; returns the clause count.
+
+    This is the "Sail typecheck" stage of the paper's Fig. 1 pipeline.
+    """
+    checker = TypeChecker(model.registry)
+    count = 0
+    for spec in model.table.all_specs():
+        clause = model._clauses[spec.name]
+        widths = {f.name: f.width for f in spec.operand_fields()}
+        checker.check_clause(clause, widths)
+        count += 1
+    return count

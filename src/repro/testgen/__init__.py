@@ -1,0 +1,14 @@
+"""Sequential test generation and differential validation (section 7)."""
+
+from .compare import ComparisonResult, SuiteReport, run_differential, run_suite
+from .sequential import SequentialTest, generate_suite, generate_tests
+
+__all__ = [
+    "ComparisonResult",
+    "SequentialTest",
+    "SuiteReport",
+    "generate_suite",
+    "generate_tests",
+    "run_differential",
+    "run_suite",
+]

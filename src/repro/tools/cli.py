@@ -1,0 +1,153 @@
+"""ppcmem2-style command-line tool (section 6).
+
+Modes:
+
+  * ``ppcmem2 run TEST.litmus``          -- exhaustive oracle run
+  * ``ppcmem2 interactive TEST.litmus``  -- step through transitions
+  * ``ppcmem2 corpus``                   -- run the built-in corpus
+  * ``ppcmem2 elf BINARY``               -- sequential execution of an ELF
+
+The interactive mode shows Fig. 3-style system states: storage subsystem
+contents (writes seen, coherence, propagation lists, unacknowledged syncs)
+plus each thread's instruction instances with their static footprints, and
+the enabled transitions to choose from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..concurrency.exhaustive import explore
+from ..isa.model import default_model
+from ..litmus.library import corpus
+from ..litmus.parser import parse_litmus
+from ..litmus.runner import build_system, run_litmus
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ppcmem2",
+        description="Architectural envelope test oracle for IBM POWER",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="exhaustively run a litmus test")
+    run_parser.add_argument("test", help="path to a .litmus file")
+
+    inter_parser = sub.add_parser(
+        "interactive", help="step through a litmus test's transitions"
+    )
+    inter_parser.add_argument("test", help="path to a .litmus file")
+
+    sub.add_parser("corpus", help="run the built-in litmus corpus")
+
+    elf_parser = sub.add_parser("elf", help="run an ELF binary sequentially")
+    elf_parser.add_argument("binary", help="path to a Power64 ELF executable")
+    elf_parser.add_argument(
+        "--max-instructions", type=int, default=100000
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args.test)
+    if args.command == "interactive":
+        return _cmd_interactive(args.test)
+    if args.command == "corpus":
+        return _cmd_corpus()
+    if args.command == "elf":
+        return _cmd_elf(args.binary, args.max_instructions)
+    return 2
+
+
+def _cmd_run(path: str) -> int:
+    with open(path) as handle:
+        test = parse_litmus(handle.read())
+    result = run_litmus(test)
+    print(f"Test {test.name}: {result.status}")
+    print(
+        f"States: {result.exploration.stats.states_visited}  "
+        f"final: {result.exploration.stats.final_states}  "
+        f"time: {result.exploration.stats.seconds:.2f}s"
+    )
+    for text, satisfied in result.outcome_table():
+        marker = "*" if satisfied else " "
+        print(f"  {marker} {text}")
+    print(f"Condition ({test.quantifier}): "
+          f"{'witnessed' if result.witnessed else 'never satisfied'}")
+    return 0
+
+
+def _cmd_interactive(path: str) -> int:
+    with open(path) as handle:
+        test = parse_litmus(handle.read())
+    system, _addresses = build_system(test)
+    step = 0
+    while True:
+        print("=" * 72)
+        print(system.render())
+        if system.is_final():
+            print("-- final state reached --")
+            return 0
+        transitions = system.enumerate_transitions()
+        if not transitions:
+            print("-- no enabled transitions --")
+            return 1
+        print(f"\nEnabled transitions (step {step}):")
+        for i, transition in enumerate(transitions):
+            print(f"  [{i}] {transition}")
+        try:
+            choice = input("transition> ").strip()
+        except EOFError:
+            return 0
+        if choice in ("q", "quit", "exit"):
+            return 0
+        try:
+            index = int(choice) if choice else 0
+            transition = transitions[index]
+        except (ValueError, IndexError):
+            print(f"bad choice {choice!r}")
+            continue
+        system = system.apply(transition)
+        step += 1
+
+
+def _cmd_corpus() -> int:
+    model = default_model()
+    sound = True
+    for entry in corpus():
+        result = run_litmus(entry.parse(), model)
+        status = result.status
+        ok = status == entry.architected
+        sound = sound and ok
+        print(
+            f"{entry.name:28s} model={status:9s} "
+            f"architected={entry.architected:9s} "
+            f"hw-observed={'yes' if entry.observed else 'no ':3s} "
+            f"{'ok' if ok else 'MISMATCH'}"
+        )
+    return 0 if sound else 1
+
+
+def _cmd_elf(path: str, max_instructions: int) -> int:
+    from ..elf.loader import load_image, load_into_machine
+    from ..elf.reader import read_elf
+    from ..isa.sequential import SequentialMachine
+
+    with open(path, "rb") as handle:
+        image = read_elf(handle.read())
+    loaded = load_image(image)
+    machine = SequentialMachine()
+    load_into_machine(machine, loaded)
+    final = machine.run(loaded.entry, max_instructions)
+    print(f"Halted at 0x{final:x} after {machine.instructions_retired} instructions")
+    for i in range(32):
+        value = machine.gpr(i)
+        if value.is_known and value.to_int():
+            print(f"  r{i} = 0x{value.to_int():x}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

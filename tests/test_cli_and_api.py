@@ -1,0 +1,78 @@
+"""Tests for the command-line front-end and the public package API."""
+
+import struct
+
+import pytest
+
+import repro
+from repro.litmus.library import by_name
+from repro.tools.cli import main
+
+
+@pytest.fixture()
+def mp_litmus(tmp_path):
+    path = tmp_path / "MP.litmus"
+    path.write_text(by_name("MP").source)
+    return str(path)
+
+
+class TestCli:
+    def test_run_command(self, mp_litmus, capsys):
+        assert main(["run", mp_litmus]) == 0
+        output = capsys.readouterr().out
+        assert "Test MP: Allowed" in output
+        assert "witnessed" in output
+
+    def test_run_prints_outcomes(self, mp_litmus, capsys):
+        main(["run", mp_litmus])
+        output = capsys.readouterr().out
+        assert "1:r4=" in output
+
+    def test_elf_command(self, tmp_path, capsys):
+        from repro.elf.writer import make_executable
+        from repro.isa.assembler import Assembler
+        from repro.isa.model import default_model
+
+        assembler = Assembler(default_model())
+        words, _ = assembler.assemble_program(
+            ["li r3,5", "addi r3,r3,2"], 0x10000
+        )
+        blob = make_executable(0x10000, words, 0x20000, b"", {})
+        path = tmp_path / "prog.elf"
+        path.write_bytes(blob)
+        assert main(["elf", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "r3 = 0x7" in output
+
+    def test_interactive_quits_cleanly(self, mp_litmus, monkeypatch, capsys):
+        inputs = iter(["0", "q"])
+        monkeypatch.setattr("builtins.input", lambda *a: next(inputs))
+        assert main(["interactive", mp_litmus]) == 0
+        output = capsys.readouterr().out
+        assert "Enabled transitions" in output
+        assert "Storage subsystem state" in output
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_surface(self):
+        test = repro.parse_litmus(by_name("MP+syncs").source)
+        result = repro.run_litmus(test)
+        assert result.status == "Forbidden"
+
+    def test_default_model_is_shared(self):
+        assert repro.default_model() is repro.default_model()
+
+    def test_all_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_corpus_export(self):
+        assert len(repro.litmus_corpus()) >= 40
+
+    def test_sequential_machine_export(self):
+        machine = repro.SequentialMachine()
+        machine.set_gpr(1, 7)
+        assert machine.gpr(1).to_int() == 7

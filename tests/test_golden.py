@@ -1,0 +1,128 @@
+"""Direct tests of the golden emulator (the hardware stand-in)."""
+
+import pytest
+
+from repro.golden.emulator import (
+    GoldenError,
+    GoldenMachine,
+    UNDEF_FILL32,
+    execute,
+)
+from repro.isa.assembler import Assembler
+from repro.isa.model import default_model
+
+MODEL = default_model()
+ASM = Assembler(MODEL)
+
+
+def run(machine, text, address=0x1000):
+    word = ASM.assemble_instruction(text, address=address)
+    machine.cia = address
+    return execute(machine, MODEL.decode_or_raise(word))
+
+
+class TestBasics:
+    def test_addi(self):
+        machine = GoldenMachine()
+        nia = run(machine, "addi r1,r0,42")
+        assert machine.gpr[1] == 42
+        assert nia == 0x1004
+
+    def test_memory_big_endian(self):
+        machine = GoldenMachine()
+        machine.gpr[1] = 0x2000
+        machine.gpr[2] = 0x11223344
+        run(machine, "stw r2,0(r1)")
+        assert machine.memory[0x2000] == 0x11
+        assert machine.memory[0x2003] == 0x44
+
+    def test_cr_field_helpers(self):
+        machine = GoldenMachine()
+        machine.set_cr_field(0, 0b1010)
+        assert machine.cr_field(0) == 0b1010
+        assert machine.cr_bit(32) == 1  # LT
+        assert machine.cr_bit(33) == 0  # GT
+        machine.set_cr_bit(35, 1)
+        assert machine.cr_field(0) == 0b1011
+
+    def test_record_sets_cr0(self):
+        machine = GoldenMachine()
+        machine.gpr[1] = 5
+        run(machine, "add. r3,r1,r1")
+        assert machine.cr_field(0) == 0b0100  # GT
+
+    def test_xer_view(self):
+        machine = GoldenMachine()
+        machine.xer = 0xE0000000
+        assert (machine.so, machine.ov, machine.ca) == (1, 1, 1)
+        machine.ca = 0
+        assert machine.xer == 0xC0000000
+
+    def test_undefined_results_use_fill_pattern(self):
+        machine = GoldenMachine()
+        machine.gpr[1] = 3
+        machine.gpr[2] = 5
+        run(machine, "mulhw r3,r1,r2")
+        assert machine.gpr[3] >> 32 == UNDEF_FILL32
+
+    def test_branch_link(self):
+        machine = GoldenMachine()
+        nia = run(machine, "bl 0x2000", address=0x1000)
+        assert nia == 0x2000
+        assert machine.lr == 0x1004
+
+    def test_bdnz_decrements(self):
+        machine = GoldenMachine()
+        machine.ctr = 2
+        nia = run(machine, "bdnz 0x900", address=0x1000)
+        assert machine.ctr == 1
+        assert nia == 0x900
+
+    def test_reservation_protocol(self):
+        machine = GoldenMachine()
+        machine.gpr[1] = 0x2000
+        machine.gpr[2] = 7
+        run(machine, "lwarx r3,r0,r1")
+        assert machine.reservation is not None
+        run(machine, "stwcx. r2,r0,r1")
+        assert machine.reservation is None
+        assert machine.load(0x2000, 4) == 7
+        assert (machine.cr_field(0) >> 1) & 1 == 1  # EQ = success
+
+    def test_unknown_instruction_raises(self):
+        machine = GoldenMachine()
+
+        class Fake:
+            name = "NotAnInstruction"
+            fields = ()
+
+        with pytest.raises(GoldenError):
+            execute(machine, Fake())
+
+    def test_unsupported_spr_raises(self):
+        machine = GoldenMachine()
+        from repro.golden.emulator import HANDLERS
+        with pytest.raises(GoldenError):
+            HANDLERS["Mtspr"](machine, {"RS": 1, "SPR": (268 & 0x1F) << 5 | (268 >> 5)})
+
+
+class TestIndependenceFromSailModel:
+    """The golden emulator must not share semantic code with the model."""
+
+    def test_no_sail_imports(self):
+        import repro.golden.emulator as golden
+        import inspect
+
+        source = inspect.getsource(golden)
+        assert "from ..sail" not in source
+        assert "import repro.sail" not in source
+
+    def test_handler_coverage_complete(self):
+        from repro.golden.emulator import HANDLERS
+
+        missing = [
+            spec.name
+            for spec in MODEL.table.all_specs()
+            if spec.name not in HANDLERS
+        ]
+        assert not missing

@@ -1,0 +1,179 @@
+"""Tests for the litmus parser, condition evaluation, and runner plumbing."""
+
+import pytest
+
+from repro.isa.model import default_model
+from repro.litmus.library import by_name, corpus, families
+from repro.litmus.parser import LitmusSyntaxError, parse_litmus
+from repro.litmus.runner import build_system, run_litmus
+from repro.litmus.test import (
+    And,
+    MemoryEquals,
+    Not,
+    Or,
+    RegisterEquals,
+    evaluate_condition,
+)
+
+MP_SOURCE = """
+POWER MP
+"simple message passing"
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;
+1:r1=x; 1:r2=y;
+x=0; y=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | lwz r5,0(r2) ;
+ stw r8,0(r2) | lwz r4,0(r1) ;
+exists (1:r5=1 /\\ 1:r4=0)
+"""
+
+
+class TestParser:
+    def test_header(self):
+        test = parse_litmus(MP_SOURCE)
+        assert test.arch == "POWER"
+        assert test.name == "MP"
+
+    def test_init_registers(self):
+        test = parse_litmus(MP_SOURCE)
+        assert test.init_registers[0]["GPR7"] == 1
+        assert test.init_registers[0]["GPR1"] == "x"  # symbolic address
+
+    def test_init_memory(self):
+        test = parse_litmus(MP_SOURCE)
+        assert test.init_memory == {"x": 0, "y": 0}
+
+    def test_programs_by_column(self):
+        test = parse_litmus(MP_SOURCE)
+        assert test.programs[0] == ["stw r7,0(r1)", "stw r8,0(r2)"]
+        assert test.programs[1] == ["lwz r5,0(r2)", "lwz r4,0(r1)"]
+
+    def test_condition_structure(self):
+        test = parse_litmus(MP_SOURCE)
+        assert test.quantifier == "exists"
+        assert isinstance(test.condition, And)
+        assert test.condition.left == RegisterEquals(1, "GPR5", 1)
+        assert test.condition.right == RegisterEquals(1, "GPR4", 0)
+
+    def test_memory_condition_forms(self):
+        source = MP_SOURCE.replace(
+            "exists (1:r5=1 /\\ 1:r4=0)", "exists ([x]=1 \\/ y=0)"
+        )
+        test = parse_litmus(source)
+        assert isinstance(test.condition, Or)
+        assert test.condition.left == MemoryEquals("x", 1)
+        assert test.condition.right == MemoryEquals("y", 0)
+
+    def test_negated_quantifier(self):
+        source = MP_SOURCE.replace("exists", "~exists")
+        assert parse_litmus(source).quantifier == "not exists"
+
+    def test_negated_atom(self):
+        source = MP_SOURCE.replace(
+            "exists (1:r5=1 /\\ 1:r4=0)", "exists (~(1:r5=1))"
+        )
+        test = parse_litmus(source)
+        assert isinstance(test.condition, Not)
+
+    def test_doubleword_detection(self):
+        source = MP_SOURCE.replace("stw", "std").replace("lwz", "ld")
+        assert parse_litmus(source).doubleword
+        assert not parse_litmus(MP_SOURCE).doubleword
+
+    def test_locations(self):
+        test = parse_litmus(MP_SOURCE)
+        assert test.locations() == ["x", "y"]
+
+    def test_missing_init_block_rejected(self):
+        with pytest.raises(LitmusSyntaxError):
+            parse_litmus("POWER broken\n P0;\n nop;\nexists (0:r1=0)")
+
+    def test_ragged_code_table_rejected(self):
+        bad = MP_SOURCE.replace("stw r8,0(r2) | lwz r4,0(r1) ;",
+                                "stw r8,0(r2) ;")
+        with pytest.raises(LitmusSyntaxError):
+            parse_litmus(bad)
+
+
+class TestConditionEvaluation:
+    def test_register_match(self):
+        condition = RegisterEquals(1, "GPR5", 1)
+        assert evaluate_condition(condition, {(1, "GPR5"): 1}, {})
+        assert not evaluate_condition(condition, {(1, "GPR5"): 2}, {})
+
+    def test_undef_register_never_matches(self):
+        condition = RegisterEquals(0, "GPR5", 0)
+        assert not evaluate_condition(condition, {(0, "GPR5"): None}, {})
+
+    def test_boolean_connectives(self):
+        regs = {(0, "GPR1"): 1, (0, "GPR2"): 2}
+        a = RegisterEquals(0, "GPR1", 1)
+        b = RegisterEquals(0, "GPR2", 3)
+        assert evaluate_condition(Or(a, b), regs, {})
+        assert not evaluate_condition(And(a, b), regs, {})
+        assert evaluate_condition(Not(b), regs, {})
+
+    def test_memory_atom(self):
+        condition = MemoryEquals("x", 2)
+        assert evaluate_condition(condition, {}, {"x": 2})
+        assert not evaluate_condition(condition, {}, {"x": 1})
+
+
+class TestBuildSystem:
+    def test_symbolic_addresses_assigned(self):
+        test = parse_litmus(MP_SOURCE)
+        system, addresses = build_system(test)
+        assert set(addresses) == {"x", "y"}
+        assert addresses["x"] != addresses["y"]
+        # Registers initialised with the symbol's address.
+        r1 = system.threads[0].initial_registers["GPR1"]
+        assert r1.to_int() == addresses["x"]
+
+    def test_programs_in_code_memory(self):
+        test = parse_litmus(MP_SOURCE)
+        system, _ = build_system(test)
+        assert len(system.program_memory) == 4  # four instructions
+
+
+class TestRunner:
+    def test_mp_is_allowed(self):
+        result = run_litmus(parse_litmus(MP_SOURCE))
+        assert result.status == "Allowed"
+        assert result.witnessed
+
+    def test_outcome_table_marks_witnesses(self):
+        result = run_litmus(parse_litmus(MP_SOURCE))
+        marked = [text for text, hit in result.outcome_table() if hit]
+        assert any("1:r4=0" in text and "1:r5=1" in text for text in marked)
+
+    def test_forbidden_status(self):
+        entry = by_name("MP+syncs")
+        result = run_litmus(entry.parse())
+        assert result.status == "Forbidden"
+        assert not result.witnessed
+
+
+class TestLibrary:
+    def test_corpus_is_nonempty_and_parses(self):
+        entries = corpus()
+        assert len(entries) >= 40
+        for entry in entries:
+            test = entry.parse()
+            assert test.name == entry.name
+            assert test.thread_count >= 1
+
+    def test_every_observed_outcome_is_architected_allowed(self):
+        """Hardware-observed implies architecturally allowed (soundness)."""
+        for entry in corpus():
+            if entry.observed:
+                assert entry.architected == "Allowed", entry.name
+
+    def test_families_cover_the_classic_shapes(self):
+        names = set(families())
+        assert {"MP", "SB", "LB", "WRC", "IRIW", "coherence"} <= names
+
+    def test_by_name_raises_for_unknown(self):
+        with pytest.raises(KeyError):
+            by_name("NOT-A-TEST")

@@ -1,0 +1,75 @@
+"""Concurrent validation over the built-in corpus (section 7).
+
+Fast shapes run in the default suite; the heavier 3-4 thread cumulativity
+tests are marked ``slow`` (run with ``pytest -m slow``).  The E3 benchmark
+aggregates the full-corpus numbers.
+"""
+
+import pytest
+
+from repro.isa.model import default_model
+from repro.litmus.library import by_name, corpus
+from repro.litmus.runner import run_litmus
+
+MODEL = default_model()
+
+#: 3-4 thread tests whose exhaustive exploration takes minutes.
+SLOW = {
+    "IRIW", "IRIW+addrs", "IRIW+syncs", "RWC+syncs", "ISA2",
+    "WRC", "WRC+addrs", "WRC+sync+addr", "WRC+lwsync+addr",
+    "ISA2+sync+data+addr", "2+2W", "2+2W+syncs", "2+2W+lwsyncs",
+    "LB+datas+WW", "LB+addrs+WW", "PPOCA", "PPOAA",
+}
+
+FAST_NAMES = sorted(e.name for e in corpus() if e.name not in SLOW)
+SLOW_NAMES = sorted(e.name for e in corpus() if e.name in SLOW)
+
+
+@pytest.mark.parametrize("name", FAST_NAMES)
+def test_model_matches_architected_status(name):
+    entry = by_name(name)
+    result = run_litmus(entry.parse(), MODEL)
+    assert result.status == entry.architected, (
+        f"{name}: model says {result.status}, "
+        f"architecture says {entry.architected}"
+    )
+
+
+@pytest.mark.parametrize("name", FAST_NAMES)
+def test_soundness_observed_implies_allowed(name):
+    """Section 7's soundness direction: hardware-observed => model-allowed."""
+    entry = by_name(name)
+    if not entry.observed:
+        pytest.skip("outcome not observed on hardware")
+    result = run_litmus(entry.parse(), MODEL)
+    assert result.witnessed, f"{name} observed on hardware but model forbids"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW_NAMES)
+def test_slow_corpus_entries(name):
+    if name == "IRIW+syncs":
+        pytest.skip(
+            "4 threads + 2 syncs exceed the Python state budget (>2M "
+            "states); see EXPERIMENTS.md E3/E6 -- the paper's own "
+            "'combinatorially challenging' worst case"
+        )
+    entry = by_name(name)
+    result = run_litmus(entry.parse(), MODEL)
+    assert result.status == entry.architected
+
+
+def test_exploration_statistics_populated():
+    result = run_litmus(by_name("MP").parse(), MODEL)
+    stats = result.exploration.stats
+    assert stats.states_visited > 0
+    assert stats.final_states > 0
+    assert stats.transitions_taken >= stats.states_visited - 1
+    assert stats.seconds > 0
+
+
+def test_all_four_mp_outcomes_enumerated():
+    result = run_litmus(by_name("MP").parse(), MODEL)
+    rows = {text for text, _hit in result.outcome_table()}
+    # r5/r4 in {0,1}^2: all four combinations reachable without barriers.
+    assert len(rows) == 4

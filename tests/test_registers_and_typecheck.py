@@ -1,0 +1,151 @@
+"""Tests for the register registry, RegSlice algebra, and the type checker."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.model import default_model
+from repro.isa.registers import cr_field_slice, power_registry
+from repro.sail.outcomes import RegSlice
+from repro.sail.parser import parse_execute_clause
+from repro.sail.typecheck import SailTypeError, TypeChecker, check_corpus
+
+REGISTRY = power_registry()
+VIEW = REGISTRY.parser_view()
+
+
+class TestRegistry:
+    def test_gpr_is_a_file_of_32(self):
+        info = REGISTRY.info("GPR")
+        assert info.file_size == 32 and info.width == 64
+
+    def test_cr_vendor_numbering(self):
+        info = REGISTRY.info("CR")
+        assert info.start == 32 and info.end == 63
+
+    def test_instance_names(self):
+        assert REGISTRY.instance_name("GPR", 5) == "GPR5"
+        assert REGISTRY.instance_name("CR", None) == "CR"
+        with pytest.raises(KeyError):
+            REGISTRY.instance_name("GPR", 32)
+
+    def test_shape_of_instance(self):
+        assert REGISTRY.shape_of_instance("GPR17").width == 64
+        assert REGISTRY.shape_of_instance("CR").start == 32
+        with pytest.raises(KeyError):
+            REGISTRY.shape_of_instance("GPR99")
+
+    def test_slice_of_validates_range(self):
+        reg_slice = REGISTRY.slice_of("CR", None, 40, 43)
+        assert reg_slice == RegSlice("CR", 40, 43)
+        with pytest.raises(KeyError):
+            REGISTRY.slice_of("CR", None, 0, 3)  # below CR's start
+
+    def test_xer_field_slices(self):
+        assert REGISTRY.field_slice("XER", "SO") == RegSlice("XER", 32, 32)
+        assert REGISTRY.field_slice("XER", "CA") == RegSlice("XER", 34, 34)
+
+    def test_cr_field_helper(self):
+        assert cr_field_slice(0) == RegSlice("CR", 32, 35)
+        assert cr_field_slice(7) == RegSlice("CR", 60, 63)
+        with pytest.raises(ValueError):
+            cr_field_slice(8)
+
+
+class TestRegSlice:
+    def test_overlap_and_containment(self):
+        a = RegSlice("CR", 32, 39)
+        b = RegSlice("CR", 36, 43)
+        c = RegSlice("CR", 40, 43)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+        assert b.contains(c)
+        assert not c.contains(b)
+
+    def test_different_registers_never_overlap(self):
+        assert not RegSlice("GPR1", 0, 63).overlaps(RegSlice("GPR2", 0, 63))
+
+    def test_intersection(self):
+        a = RegSlice("CR", 32, 39)
+        b = RegSlice("CR", 36, 43)
+        assert a.intersection(b) == RegSlice("CR", 36, 39)
+        assert a.intersection(RegSlice("CR", 40, 43)) is None
+
+    @given(
+        st.integers(0, 60), st.integers(0, 60),
+        st.integers(1, 4), st.integers(1, 4),
+    )
+    def test_overlap_symmetry(self, lo_a, lo_b, len_a, len_b):
+        a = RegSlice("R", lo_a, lo_a + len_a - 1)
+        b = RegSlice("R", lo_b, lo_b + len_b - 1)
+        assert a.overlaps(b) == b.overlaps(a)
+
+    def test_width(self):
+        assert RegSlice("CR", 32, 35).width == 4
+
+
+class TestTypeChecker:
+    def _check(self, body, fields=None):
+        source = (
+            f"function clause execute (T ({', '.join((fields or {}).keys())}))"
+            f" = {{ {body} }}"
+            if fields
+            else f"function clause execute (T) = {{ {body} }}"
+        )
+        clause = parse_execute_clause(source, VIEW)
+        TypeChecker(REGISTRY).check_clause(clause, fields or {})
+
+    def test_whole_corpus_typechecks(self):
+        model = default_model()
+        assert check_corpus(model) == len(model.table.all_specs())
+
+    def test_width_mismatch_in_declaration(self):
+        with pytest.raises(SailTypeError):
+            self._check("(bit[8]) x := 0x12345678")
+
+    def test_width_mismatch_in_bitwise(self):
+        with pytest.raises(SailTypeError):
+            self._check("(bit[64]) x := EXTZ(32, 0b1) & EXTZ(64, 0b1)")
+
+    def test_unbound_variable(self):
+        with pytest.raises(SailTypeError):
+            self._check("GPR[1] := nope")
+
+    def test_register_range_out_of_bounds(self):
+        with pytest.raises(SailTypeError):
+            self._check("CR[20 .. 23] := 0b0000")  # CR starts at 32
+
+    def test_unknown_builtin(self):
+        with pytest.raises(SailTypeError):
+            self._check("GPR[1] := FROBNICATE(1)")
+
+    def test_builtin_arity(self):
+        with pytest.raises(SailTypeError):
+            self._check("GPR[1] := EXTS(1, 2, 3)")
+
+    def test_slice_outside_width(self):
+        with pytest.raises(SailTypeError):
+            self._check("{ (bit[8]) x := 0x00; GPR[1] := EXTZ(64, x[4 .. 9]) }")
+
+    def test_empty_slice(self):
+        with pytest.raises(SailTypeError):
+            self._check("{ (bit[8]) x := 0x00; GPR[1] := EXTZ(64, x[5 .. 2]) }")
+
+    def test_memory_write_width(self):
+        with pytest.raises(SailTypeError):
+            self._check("MEMw(EXTZ(64, 0b0), 4) := 0xFF")  # 8 bits into 4 bytes
+
+    def test_field_widths_flow_in(self):
+        # RA is declared 5 bits wide; comparing against a 5-bit literal is
+        # fine, slicing beyond is not.
+        from repro.sail.values import Bits
+        self._check("if RA == 0 then NOP()", fields={"RA": 5})
+        with pytest.raises(SailTypeError):
+            self._check("GPR[1] := EXTZ(64, RA[3 .. 7])", fields={"RA": 5})
+
+    def test_valid_instruction_accepted(self):
+        self._check(
+            "(bit[64]) EA := GPR[RA] + EXTS(DS : 0b00); "
+            "MEMw(EA, 8) := GPR[RS]; "
+            "GPR[RA] := EA",
+            fields={"RS": 5, "RA": 5, "DS": 14},
+        )

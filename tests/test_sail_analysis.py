@@ -1,0 +1,181 @@
+"""Tests for the exhaustive footprint analysis (section 2.2)."""
+
+import pytest
+
+from repro.isa.model import default_model
+from repro.isa.registers import power_registry
+from repro.sail.analysis import FootprintAnalysis
+from repro.sail.interp import Interp, initial_state, resume
+from repro.sail.outcomes import ReadReg
+from repro.sail.parser import parse_statement
+from repro.sail.values import Bits
+
+REGISTRY = power_registry()
+VIEW = REGISTRY.parser_view()
+INTERP = Interp(REGISTRY)
+ANALYSIS = FootprintAnalysis(INTERP)
+
+
+def _analyze(source, fields=None, cia=None):
+    stmt = parse_statement(source, VIEW)
+    return ANALYSIS.analyze(initial_state(stmt, fields or {}), cia=cia)
+
+
+class TestRegisterFootprints:
+    def test_simple_in_out(self):
+        fp = _analyze("GPR[3] := GPR[1] + GPR[2]")
+        assert {str(s) for s in fp.regs_in} == {"GPR1[0..63]", "GPR2[0..63]"}
+        assert {str(s) for s in fp.regs_out} == {"GPR3[0..63]"}
+
+    def test_cr_bit_granular(self):
+        fp = _analyze("CR[35] := CR[40] & CR[41]")
+        assert {str(s) for s in fp.regs_in} == {"CR[40]", "CR[41]"}
+        assert {str(s) for s in fp.regs_out} == {"CR[35]"}
+
+    def test_both_branches_explored(self):
+        fp = _analyze(
+            "if GPR[1] == GPR[2] then GPR[3] := 0 else GPR[4] := 0"
+        )
+        outs = {str(s) for s in fp.regs_out}
+        assert outs == {"GPR3[0..63]", "GPR4[0..63]"}
+
+    def test_cia_resolved_concretely(self):
+        fp = _analyze("GPR[1] := CIA", cia=0x2000)
+        assert not fp.regs_in  # CIA creates no dependencies
+
+    def test_conditional_write_guarded_by_field(self):
+        # A concrete field value prunes the unreachable branch entirely.
+        fp = _analyze(
+            "if F == 1 then GPR[3] := 0 else GPR[4] := 0",
+            fields={"F": Bits.from_int(1, 1)},
+        )
+        assert {str(s) for s in fp.regs_out} == {"GPR3[0..63]"}
+
+
+class TestMemoryFootprints:
+    def test_determined_read(self):
+        fp = _analyze(
+            "{ (bit[64]) EA := 0x0000000000001000; GPR[1] := EXTZ(64, MEMr(EA, 4)) }"
+        )
+        assert fp.mem_reads == frozenset({(0x1000, 4)})
+        assert not fp.mem_reads_undetermined
+        assert fp.is_load and not fp.is_store
+
+    def test_register_dependent_address_is_undetermined(self):
+        fp = _analyze("MEMw(GPR[1], 4) := (GPR[2])[32..63]")
+        assert fp.mem_writes_undetermined
+        assert fp.is_store
+
+    def test_lb_datas_ww_scenario(self):
+        """Section 2.1.6: after the address read resolves, the write
+        footprint is determined even though the data read is pending."""
+        stmt = parse_statement(
+            "{ (bit[64]) EA := GPR[3]; MEMw(EA, 4) := (GPR[5])[32..63] }",
+            VIEW,
+        )
+        state = initial_state(stmt, {})
+        # Resolve the address register read concretely.
+        outcome = INTERP.run_to_outcome(state)
+        assert isinstance(outcome, ReadReg)
+        assert outcome.slice.reg == "GPR3"
+        resumed = resume(outcome.state, Bits.from_int(0x1234, 64))
+        fp = ANALYSIS.analyze(resumed)
+        assert fp.mem_writes == frozenset({(0x1234, 4)})
+        assert fp.memory_determined
+        # The data register is still to be read (GPRs read full-width;
+        # the [32..63] slice applies to the read value).
+        assert {str(s) for s in fp.regs_in} == {"GPR5[0..63]"}
+
+    def test_reserve_and_conditional_flags(self):
+        fp = _analyze(
+            "{ (bit[64]) EA := 0; GPR[1] := EXTZ(64, MEMr_reserve(EA, 4)) }"
+        )
+        assert fp.reads_reserve
+        fp = _analyze(
+            "{ (bit[64]) EA := 0; "
+            "(bit[1]) ok := STORE_CONDITIONAL(EA, 4, 0x00000001); "
+            "CR[34] := ok }"
+        )
+        assert fp.writes_conditional
+
+    def test_may_touch_memory(self):
+        fp = _analyze(
+            "{ (bit[64]) EA := 0x0000000000001000; MEMw(EA, 4) := 0x00000001 }"
+        )
+        assert fp.may_touch_memory(0x1002, 1)
+        assert not fp.may_touch_memory(0x1004, 4)
+        assert fp.may_write_memory(0x0FFD, 4)
+
+
+class TestNiaAnalysis:
+    def test_fallthrough_only(self):
+        fp = _analyze("GPR[1] := GPR[2]")
+        assert fp.nia_fallthrough and not fp.nias and not fp.nia_indirect
+
+    def test_unconditional_branch(self):
+        fp = _analyze("NIA := CIA + EXTZ(64, 0x10)", cia=0x1000)
+        assert fp.nias == frozenset({0x1010})
+        assert not fp.nia_fallthrough
+
+    def test_conditional_branch_on_register(self):
+        fp = _analyze(
+            "if CR[34] == 0b1 then NIA := CIA + EXTZ(64, 0x08)",
+            cia=0x1000,
+        )
+        assert fp.nias == frozenset({0x1008})
+        assert fp.nia_fallthrough
+        assert {str(s) for s in fp.regs_in} == {"CR[34]"}
+
+    def test_indirect_branch(self):
+        fp = _analyze("NIA := LR[0..61] : 0b00")
+        assert fp.nia_indirect
+
+
+class TestRealInstructions:
+    """Static footprints of decoded corpus instructions."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return default_model()
+
+    def test_bc_reads_one_cr_bit(self, model):
+        # bc 12,2,+8 -- branch if CR0.EQ
+        word = (16 << 26) | (12 << 21) | (2 << 16) | ((8 >> 2) << 2)
+        fp = model.static_footprint(model.decode_or_raise(word), cia=0x100)
+        assert {str(s) for s in fp.regs_in} == {"CR[34]"}
+        assert fp.nias == frozenset({0x108})
+        assert fp.nia_fallthrough
+
+    def test_branch_always_reads_nothing(self, model):
+        # bc 20,0,+8 -- branch always: no CR or CTR dependency
+        word = (16 << 26) | (20 << 21) | (0 << 16) | ((8 >> 2) << 2)
+        fp = model.static_footprint(model.decode_or_raise(word), cia=0x100)
+        assert not fp.regs_in
+        assert not fp.nia_fallthrough
+
+    def test_bdnz_touches_ctr_not_cr(self, model):
+        # bc 16,0,+8 -- decrement CTR, branch if nonzero
+        word = (16 << 26) | (16 << 21) | (0 << 16) | ((8 >> 2) << 2)
+        fp = model.static_footprint(model.decode_or_raise(word), cia=0x100)
+        assert {s.reg for s in fp.regs_in} == {"CTR"}
+        assert {s.reg for s in fp.regs_out} == {"CTR"}
+
+    def test_stw_footprint(self, model):
+        # stw r7,0(r1)
+        word = (36 << 26) | (7 << 21) | (1 << 16)
+        fp = model.static_footprint(model.decode_or_raise(word), cia=0)
+        assert fp.is_store and not fp.is_load
+        assert fp.mem_writes_undetermined  # address register unresolved
+
+    def test_add_record_form_writes_cr0(self, model):
+        word = (31 << 26) | (3 << 21) | (1 << 16) | (7 << 11) | (266 << 1) | 1
+        fp = model.static_footprint(model.decode_or_raise(word), cia=0)
+        assert any(str(s) == "CR[32..35]" for s in fp.regs_out)
+        assert any(str(s) == "XER[32]" for s in fp.regs_in)  # SO bit
+
+    def test_analysis_is_memoised(self, model):
+        word = (14 << 26) | (1 << 21) | 5  # addi r1,r0,5
+        instruction = model.decode_or_raise(word)
+        first = model.static_footprint(instruction, cia=0)
+        second = model.static_footprint(instruction, cia=0)
+        assert first is second

@@ -1,0 +1,224 @@
+"""Tests for the Sail interpreter and the outcome interface."""
+
+import pytest
+
+from repro.isa.registers import power_registry
+from repro.sail.interp import (
+    Interp,
+    InterpState,
+    LiftedBranch,
+    SailRuntimeError,
+    initial_state,
+    resume,
+)
+from repro.sail.outcomes import (
+    Barrier,
+    Done,
+    ReadMem,
+    ReadReg,
+    WriteMem,
+    WriteReg,
+)
+from repro.sail.parser import parse_statement
+from repro.sail.values import Bits, FALSE, TRUE
+
+REGISTRY = power_registry()
+VIEW = REGISTRY.parser_view()
+INTERP = Interp(REGISTRY)
+
+
+def _run(source, fields=None, reg_values=None, memory=None):
+    """Drive a statement to completion, returning (env-ish trace)."""
+    stmt = parse_statement(source, VIEW)
+    state = initial_state(stmt, fields or {})
+    reg_values = dict(reg_values or {})
+    memory = dict(memory or {})
+    reg_writes = {}
+    mem_writes = {}
+    barriers = []
+    outcome = INTERP.run_to_outcome(state)
+    for _ in range(1000):
+        if isinstance(outcome, Done):
+            return reg_writes, mem_writes, barriers
+        if isinstance(outcome, ReadReg):
+            key = str(outcome.slice)
+            value = reg_values.get(key, Bits.zeros(outcome.slice.width))
+            outcome = INTERP.run_to_outcome(resume(outcome.state, value))
+        elif isinstance(outcome, WriteReg):
+            reg_writes[str(outcome.slice)] = outcome.value
+            outcome = INTERP.run_to_outcome(resume(outcome.state, None))
+        elif isinstance(outcome, ReadMem):
+            value = memory.get(
+                outcome.addr.to_int(), Bits.zeros(8 * outcome.size)
+            )
+            outcome = INTERP.run_to_outcome(resume(outcome.state, value))
+        elif isinstance(outcome, WriteMem):
+            mem_writes[outcome.addr.to_int()] = outcome.value
+            reply = TRUE if outcome.kind == "conditional" else None
+            outcome = INTERP.run_to_outcome(resume(outcome.state, reply))
+        elif isinstance(outcome, Barrier):
+            barriers.append(outcome.kind)
+            outcome = INTERP.run_to_outcome(resume(outcome.state, None))
+        else:
+            raise AssertionError(f"unexpected outcome {outcome!r}")
+    raise AssertionError("statement did not terminate")
+
+
+class TestBasicExecution:
+    def test_declaration_coerces_to_width(self):
+        regs, _, _ = _run(
+            "{ (bit[64]) b := 0; GPR[3] := b }",
+        )
+        assert regs["GPR3[0..63]"] == Bits.zeros(64)
+
+    def test_sequencing_and_arithmetic(self):
+        regs, _, _ = _run(
+            "{ (bit[8]) a := 0x02; (bit[8]) b := 0x03; GPR[1] := EXTZ(64, a + b) }"
+        )
+        assert regs["GPR1[0..63]"].to_int() == 5
+
+    def test_if_statement_picks_branch(self):
+        regs, _, _ = _run(
+            "{ (bit[8]) r := 0; if 0b1 == 0b1 then r := 0x11 else r := 0x22; "
+            "GPR[1] := EXTZ(64, r) }"
+        )
+        assert regs["GPR1[0..63]"].to_int() == 0x11
+
+    def test_foreach_accumulates(self):
+        regs, _, _ = _run(
+            "{ (bit[64]) r := 0; "
+            "foreach (i from 1 to 4) r := r + EXTZ(64, 0b1); "
+            "GPR[1] := r }"
+        )
+        assert regs["GPR1[0..63]"].to_int() == 4
+
+    def test_foreach_downto(self):
+        regs, _, _ = _run(
+            "{ (int) n := 0; (bit[64]) r := 0; "
+            "foreach (i from 3 downto 1) r := r + EXTZ(64, 0b1); "
+            "GPR[1] := r }"
+        )
+        assert regs["GPR1[0..63]"].to_int() == 3
+
+    def test_empty_foreach_body_never_runs(self):
+        regs, _, _ = _run(
+            "{ (bit[64]) r := 0; "
+            "foreach (i from 3 to 1) r := r + EXTZ(64, 0b1); "
+            "GPR[1] := r }"
+        )
+        assert regs["GPR1[0..63]"].to_int() == 0
+
+    def test_register_read_flows_in(self):
+        regs, _, _ = _run(
+            "GPR[2] := GPR[1]",
+            reg_values={"GPR1[0..63]": Bits.from_int(77, 64)},
+        )
+        assert regs["GPR2[0..63]"].to_int() == 77
+
+    def test_memory_write_value_and_address(self):
+        _, mem, _ = _run(
+            "{ (bit[64]) EA := 0; EA := EXTZ(64, 0x10); "
+            "MEMw(EA, 2) := 0xBEEF }"
+        )
+        assert mem[0x10].to_int() == 0xBEEF
+
+    def test_barrier_outcomes_in_order(self):
+        _, _, barriers = _run(
+            "{ BARRIER_SYNC(); BARRIER_LWSYNC(); BARRIER_ISYNC() }"
+        )
+        assert barriers == ["sync", "lwsync", "isync"]
+
+    def test_variable_slice_assignment(self):
+        regs, _, _ = _run(
+            "{ (bit[8]) r := 0x00; r[0 .. 3] := 0xF; GPR[1] := EXTZ(64, r) }"
+        )
+        assert regs["GPR1[0..63]"].to_int() == 0xF0
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(SailRuntimeError):
+            _run("GPR[1] := nope")
+
+    def test_integer_index_arithmetic(self):
+        regs, _, _ = _run(
+            "CR[4*2+32 .. 4*2+35] := 0b1010",
+        )
+        assert regs["CR[40..43]"].to_int() == 0b1010
+
+
+class TestOutcomeInterface:
+    def test_read_reg_exposes_precise_slice(self):
+        stmt = parse_statement("GPR[1] := EXTZ(64, XER.CA)", VIEW)
+        outcome = INTERP.run_to_outcome(initial_state(stmt, {}))
+        assert isinstance(outcome, ReadReg)
+        assert str(outcome.slice) == "XER[34]"
+
+    def test_store_conditional_success_flag(self):
+        source = (
+            "{ (bit[64]) EA := 0; "
+            "(bit[1]) ok := STORE_CONDITIONAL(EA, 4, 0x00000001); "
+            "GPR[1] := EXTZ(64, ok) }"
+        )
+        stmt = parse_statement(source, VIEW)
+        outcome = INTERP.run_to_outcome(initial_state(stmt, {}))
+        assert isinstance(outcome, WriteMem)
+        assert outcome.kind == "conditional"
+        # Failure path: CR write must see 0.
+        after = INTERP.run_to_outcome(resume(outcome.state, FALSE))
+        assert isinstance(after, WriteReg)
+        assert after.value == Bits.zeros(64)
+
+    def test_states_are_reusable_snapshots(self):
+        """Resuming the same pending state twice gives independent futures."""
+        stmt = parse_statement("GPR[1] := GPR[2]", VIEW)
+        outcome = INTERP.run_to_outcome(initial_state(stmt, {}))
+        assert isinstance(outcome, ReadReg)
+        first = INTERP.run_to_outcome(
+            resume(outcome.state, Bits.from_int(1, 64))
+        )
+        second = INTERP.run_to_outcome(
+            resume(outcome.state, Bits.from_int(2, 64))
+        )
+        assert first.value.to_int() == 1
+        assert second.value.to_int() == 2
+
+    def test_state_hash_equality(self):
+        stmt = parse_statement("GPR[1] := GPR[2]", VIEW)
+        a = initial_state(stmt, {"F": Bits.from_int(3, 5)})
+        b = initial_state(stmt, {"F": Bits.from_int(3, 5)})
+        assert a == b and hash(a) == hash(b)
+
+    def test_resume_requires_pending(self):
+        stmt = parse_statement("NOP()", VIEW)
+        with pytest.raises(SailRuntimeError):
+            resume(initial_state(stmt, {}), None)
+
+
+class TestLiftedConditions:
+    def test_fork_on_unknown_condition(self):
+        stmt = parse_statement(
+            "{ (bit[1]) c := UNKNOWN(1); if c == 0b1 then GPR[1] := 0 "
+            "else GPR[2] := 0 }",
+            VIEW,
+        )
+        state = initial_state(stmt, {})
+        with pytest.raises(LiftedBranch) as info:
+            INTERP.run_to_outcome(state, fork_on_lifted=True)
+        assert len(info.value.states) == 2
+
+    def test_concrete_mode_rejects_lifted_condition(self):
+        stmt = parse_statement(
+            "{ (bit[1]) c := UNDEFINED(1); if c == 0b1 then NOP() }", VIEW
+        )
+        with pytest.raises(Exception):
+            INTERP.run_to_outcome(initial_state(stmt, {}))
+
+
+class TestFuelExhaustion:
+    def test_runaway_loop_is_caught(self):
+        # A loop of purely internal steps must exhaust the fuel budget
+        # rather than spinning forever.
+        stmt = parse_statement(
+            "foreach (i from 0 to 1000000) x := i", VIEW
+        )
+        with pytest.raises(SailRuntimeError):
+            INTERP.run_to_outcome(initial_state(stmt, {}), fuel=500)

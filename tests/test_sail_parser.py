@@ -1,0 +1,192 @@
+"""Tests for the Sail lexer and parser."""
+
+import pytest
+
+from repro.isa.registers import power_registry
+from repro.sail import ast
+from repro.sail.ast import SailSyntaxError
+from repro.sail.lexer import tokenize
+from repro.sail.parser import parse_execute_clause, parse_statement
+
+VIEW = power_registry().parser_view()
+
+
+class TestLexer:
+    def test_binary_literal(self):
+        tokens = tokenize("0b0101")
+        assert tokens[0].kind == "bits"
+        assert tokens[0].value == "0101"
+
+    def test_hex_literal_expands_to_bits(self):
+        tokens = tokenize("0x1F")
+        assert tokens[0].value == "00011111"
+
+    def test_decimal_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind == "int" and tokens[0].value == 42
+
+    def test_assignment_vs_concat(self):
+        kinds = [t.text for t in tokenize("a := b : c") if t.kind == "op"]
+        assert kinds == [":=", ":"]
+
+    def test_range_operator(self):
+        texts = [t.text for t in tokenize("x[1 .. 5]")]
+        assert ".." in texts
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a # this is a comment\nb")
+        idents = [t.text for t in tokens if t.kind == "ident"]
+        assert idents == ["a", "b"]
+
+    def test_unsigned_comparison_operators(self):
+        texts = [t.text for t in tokenize("a <u b >=u c")]
+        assert "<u" in texts and ">=u" in texts
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(SailSyntaxError):
+            tokenize("a @ b")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb")
+        assert tokens[0].line == 1 and tokens[1].line == 2
+
+
+class TestStatementParsing:
+    def test_declaration(self):
+        stmt = parse_statement("(bit[64]) EA := 0", VIEW)
+        assert isinstance(stmt, ast.Decl)
+        assert stmt.typ.width == 64
+
+    def test_block_with_semicolons(self):
+        stmt = parse_statement("{ a := 1; b := 2 }", VIEW)
+        assert isinstance(stmt, ast.Block)
+        assert len(stmt.body) == 2
+
+    def test_if_then_else(self):
+        stmt = parse_statement("if RA == 0 then b := 0 else b := 1", VIEW)
+        assert isinstance(stmt, ast.If)
+        assert stmt.orelse is not None
+
+    def test_register_file_read(self):
+        stmt = parse_statement("x := GPR[RA]", VIEW)
+        read = stmt.value
+        assert isinstance(read, ast.RegRead)
+        assert read.reg.name == "GPR"
+        assert read.reg.index is not None
+
+    def test_cr_bit_range(self):
+        stmt = parse_statement("CR[32 .. 35] := 0b0010", VIEW)
+        assert isinstance(stmt.lhs, ast.RegLHS)
+        assert stmt.lhs.reg.name == "CR"
+
+    def test_xer_named_field(self):
+        stmt = parse_statement("x := XER.SO", VIEW)
+        spec = stmt.value.reg
+        assert spec.name == "XER"
+        assert spec.lo.value == 32 and spec.hi.value == 32
+
+    def test_unknown_register_field_rejected(self):
+        with pytest.raises(SailSyntaxError):
+            parse_statement("x := XER.NOPE", VIEW)
+
+    def test_memory_write(self):
+        stmt = parse_statement("MEMw(EA, 8) := GPR[RS]", VIEW)
+        assert isinstance(stmt.lhs, ast.MemLHS)
+
+    def test_memory_read_kinds(self):
+        plain = parse_statement("x := MEMr(EA, 4)", VIEW).value
+        reserve = parse_statement("x := MEMr_reserve(EA, 4)", VIEW).value
+        assert plain.kind == "plain"
+        assert reserve.kind == "reserve"
+
+    def test_store_conditional(self):
+        stmt = parse_statement(
+            "(bit[1]) ok := STORE_CONDITIONAL(EA, 4, v)", VIEW
+        )
+        assert isinstance(stmt.init, ast.StoreConditional)
+
+    def test_foreach(self):
+        stmt = parse_statement("foreach (i from 0 to 7) x := i", VIEW)
+        assert isinstance(stmt, ast.Foreach)
+        assert not stmt.downto
+
+    def test_foreach_downto(self):
+        stmt = parse_statement("foreach (i from 7 downto 0) x := i", VIEW)
+        assert stmt.downto
+
+    def test_barrier_statements(self):
+        assert parse_statement("BARRIER_SYNC()", VIEW).kind == "sync"
+        assert parse_statement("BARRIER_LWSYNC()", VIEW).kind == "lwsync"
+        assert parse_statement("BARRIER_EIEIO()", VIEW).kind == "eieio"
+        assert parse_statement("BARRIER_ISYNC()", VIEW).kind == "isync"
+
+    def test_variable_slice_assignment(self):
+        stmt = parse_statement("r[8 .. 15] := 0x00", VIEW)
+        assert isinstance(stmt.lhs, ast.VarSliceLHS)
+
+
+class TestExpressionParsing:
+    def _expr(self, text):
+        return parse_statement(f"x := {text}", VIEW).value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_concat_under_arith(self):
+        expr = self._expr("a : b + c")
+        assert expr.op == ":"
+
+    def test_comparison_looser_than_concat(self):
+        expr = self._expr("a == b : c")
+        assert expr.op == "=="
+
+    def test_parenthesised_slice(self):
+        expr = self._expr("(GPR[RS])[32 .. 63]")
+        assert isinstance(expr, ast.SliceExpr)
+        assert isinstance(expr.operand, ast.RegRead)
+
+    def test_single_bit_index(self):
+        expr = self._expr("BO[2]")
+        assert isinstance(expr, ast.IndexExpr)
+
+    def test_if_expression(self):
+        expr = self._expr("if a == b then 0b1 else 0b0")
+        assert isinstance(expr, ast.IfExpr)
+
+    def test_builtin_call(self):
+        expr = self._expr("EXTS(64, D)")
+        assert isinstance(expr, ast.Call)
+        assert expr.func == "EXTS" and len(expr.args) == 2
+
+    def test_unary_operators(self):
+        assert self._expr("~a").op == "~"
+        assert self._expr("-a").op == "-"
+
+
+class TestExecuteClause:
+    def test_fig2_stdu_clause(self):
+        source = """
+function clause execute (Stdu (RS, RA, DS)) =
+{ EA := GPR[RA] + EXTS (DS : 0b00);
+  MEMw(EA,8) := GPR[RS];
+  GPR[RA] := EA }
+"""
+        clause = parse_execute_clause(source, VIEW)
+        assert clause.function == "execute"
+        assert clause.ast_name == "Stdu"
+        assert clause.fields == ("RS", "RA", "DS")
+        assert isinstance(clause.body, ast.Block)
+        assert len(clause.body.body) == 3
+
+    def test_clause_without_fields(self):
+        source = "function clause execute (Eieio) = { BARRIER_EIEIO() }"
+        clause = parse_execute_clause(source, VIEW)
+        assert clause.fields == ()
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SailSyntaxError):
+            parse_execute_clause(
+                "function clause execute (A) = { NOP() } garbage", VIEW
+            )
