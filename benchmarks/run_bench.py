@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""E6 benchmark harness: run the exploration suite, record a trajectory.
+
+Runs the representative E6 litmus family through the exhaustive oracle and
+appends one entry (per-test and total transitions/s, states/s, wall time)
+to a ``BENCH_e6.json`` trajectory file, so future performance PRs have a
+baseline to compare against on the same machine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--output PATH] [--label L]
+
+``SEED_BASELINE`` holds the seed implementation's numbers measured by the
+same protocol (one warm process, stats from inside ``explore``) on the
+reference container; the E6 pytest benchmark prints a before/after table
+against it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+REPRESENTATIVE = ["MP", "MP+syncs", "SB+syncs", "R", "WRC+sync+addr"]
+
+#: Seed (pre-optimisation) E6 numbers on the reference container:
+#: per-test (states, finals, transitions, seconds) plus totals.
+SEED_BASELINE = {
+    "label": "seed",
+    "per_test": {
+        "MP": {"states": 316, "finals": 26, "transitions": 752, "seconds": 0.086},
+        "MP+syncs": {"states": 312, "finals": 26, "transitions": 577, "seconds": 0.074},
+        "SB+syncs": {"states": 1125, "finals": 32, "transitions": 2542, "seconds": 0.332},
+        "R": {"states": 1390, "finals": 106, "transitions": 3284, "seconds": 0.377},
+        "WRC+sync+addr": {"states": 2152, "finals": 218, "transitions": 5696, "seconds": 0.959},
+    },
+    "total": {
+        "states": 5295,
+        "transitions": 12851,
+        "seconds": 1.829,
+        "transitions_per_second": 7025,
+    },
+}
+
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "BENCH_e6.json")
+
+
+def run_suite(model=None):
+    """Run the representative family; returns (per_test, total) dicts."""
+    from repro.isa.model import default_model
+    from repro.litmus.library import by_name
+    from repro.litmus.runner import run_litmus
+
+    model = model if model is not None else default_model()
+    per_test = {}
+    total_states = total_transitions = 0
+    total_seconds = 0.0
+    for name in REPRESENTATIVE:
+        result = run_litmus(by_name(name).parse(), model)
+        stats = result.exploration.stats
+        per_test[name] = {
+            "states": stats.states_visited,
+            "finals": stats.final_states,
+            "transitions": stats.transitions_taken,
+            "seconds": round(stats.seconds, 4),
+        }
+        total_states += stats.states_visited
+        total_transitions += stats.transitions_taken
+        total_seconds += stats.seconds
+    total = {
+        "states": total_states,
+        "transitions": total_transitions,
+        "seconds": round(total_seconds, 4),
+        "transitions_per_second": int(total_transitions / total_seconds)
+        if total_seconds
+        else 0,
+        "states_per_second": int(total_states / total_seconds)
+        if total_seconds
+        else 0,
+    }
+    return per_test, total
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument("--label", default=None, help="trajectory entry label")
+    args = parser.parse_args(argv)
+
+    per_test, total = run_suite()
+
+    trajectory = []
+    if os.path.exists(args.output):
+        with open(args.output) as handle:
+            trajectory = json.load(handle)
+    if not trajectory:
+        trajectory.append(SEED_BASELINE)
+    entry = {
+        "label": args.label or f"run-{len(trajectory)}",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "per_test": per_test,
+        "total": total,
+    }
+    trajectory.append(entry)
+    with open(args.output, "w") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+
+    baseline = trajectory[0]["total"]
+    speedup = (
+        total["transitions_per_second"] / baseline["transitions_per_second"]
+        if baseline.get("transitions_per_second")
+        else float("nan")
+    )
+    print(f"E6 suite: {total['transitions']} transitions "
+          f"in {total['seconds']:.2f}s "
+          f"= {total['transitions_per_second']:,}/s "
+          f"({speedup:.2f}x over {trajectory[0]['label']})")
+    print(f"trajectory written to {args.output} ({len(trajectory)} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ effect of the eager-transition closure.
 """
 
 from conftest import print_table
+from run_bench import SEED_BASELINE
 
 from repro.litmus.library import by_name
 from repro.litmus.runner import build_system, run_litmus
@@ -60,6 +61,51 @@ def test_e6_concurrent_exploration_rate(model, benchmark):
         ["test", "states", "finals", "transitions", "time", "rate"],
         rows,
     )
+
+    # Before/after against the recorded seed implementation (the fast state
+    # engine: COW cloning, cached keys, memoised transition enumeration).
+    seed_tests = SEED_BASELINE["per_test"]
+    compare_rows = []
+    for name in REPRESENTATIVE:
+        stats = results[name].exploration.stats
+        before = seed_tests[name]
+        before_rate = before["transitions"] / before["seconds"]
+        after_rate = (
+            stats.transitions_taken / stats.seconds if stats.seconds else 0
+        )
+        compare_rows.append(
+            (
+                name,
+                f"{before_rate:,.0f}/s",
+                f"{after_rate:,.0f}/s",
+                f"{after_rate / before_rate:.2f}x",
+            )
+        )
+    seed_total = SEED_BASELINE["total"]
+    seed_rate = seed_total["transitions"] / seed_total["seconds"]
+    total_rate = total_transitions / total_seconds if total_seconds else 0
+    compare_rows.append(
+        (
+            "TOTAL",
+            f"{seed_rate:,.0f}/s",
+            f"{total_rate:,.0f}/s",
+            f"{total_rate / seed_rate:.2f}x",
+        )
+    )
+    print_table(
+        "E6: before/after transitions per second "
+        "(seed implementation vs fast state engine, same machine)",
+        ["test", "seed", "now", "speedup"],
+        compare_rows,
+    )
+
+    # The state graph itself must be untouched by the engine work: same
+    # states, same transitions, same finals as the seed exploration.
+    for name in REPRESENTATIVE:
+        stats = results[name].exploration.stats
+        assert stats.states_visited == seed_tests[name]["states"]
+        assert stats.transitions_taken == seed_tests[name]["transitions"]
+        assert stats.final_states == seed_tests[name]["finals"]
     assert total_transitions > 0
 
 

@@ -1,7 +1,17 @@
 """The operational concurrency model (sections 2 and 5 of the paper)."""
 
 from .events import BarrierEvent, BarrierId, Write, WriteId
-from .exhaustive import ExplorationLimit, ExplorationResult, explore, run_one
+from .exhaustive import (
+    ExplorationLimit,
+    ExplorationResult,
+    ExplorationStats,
+    Witness,
+    explore,
+    find_witness,
+    run_one,
+)
+from .keys import CachedKey
+from .parallel import CorpusReport, CorpusTestResult, explore_corpus
 from .params import DEFAULT_PARAMS, ModelParams
 from .storage import CoherenceViolation, StorageSubsystem
 from .system import SystemState, Transition
@@ -10,10 +20,14 @@ from .thread import InstructionInstance, ModelError, ThreadState
 __all__ = [
     "BarrierEvent",
     "BarrierId",
+    "CachedKey",
     "CoherenceViolation",
+    "CorpusReport",
+    "CorpusTestResult",
     "DEFAULT_PARAMS",
     "ExplorationLimit",
     "ExplorationResult",
+    "ExplorationStats",
     "InstructionInstance",
     "ModelError",
     "ModelParams",
@@ -21,8 +35,11 @@ __all__ = [
     "SystemState",
     "ThreadState",
     "Transition",
+    "Witness",
     "Write",
     "WriteId",
     "explore",
+    "explore_corpus",
+    "find_witness",
     "run_one",
 ]

@@ -8,8 +8,8 @@ this determinism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 from ..sail.values import Bits
 
@@ -17,11 +17,54 @@ from ..sail.values import Bits
 INITIAL_TID = -1
 
 
-@dataclass(frozen=True, order=True)
 class WriteId:
-    tid: int
-    ioid: Tuple[int, int]  # (tid, index) instruction id; (-1, n) for initial
-    index: int  # unit index within the instruction's write
+    """Identifier of one atomic write unit: (tid, ioid, index).
+
+    Hand-rolled (rather than a frozen dataclass) so the hash -- recomputed
+    millions of times by the explorer's keys, propagation indexes and
+    coherence sets -- is computed once.  ``repr``, equality and ordering
+    match the previous dataclass exactly.
+    """
+
+    __slots__ = ("tid", "ioid", "index", "_hash", "_sort_key")
+
+    def __init__(self, tid: int, ioid: Tuple[int, int], index: int):
+        self.tid = tid
+        self.ioid = ioid  # (tid, index) instruction id; (-1, n) for initial
+        self.index = index  # unit index within the instruction's write
+        self._sort_key = (tid, ioid, index)
+        self._hash = hash(self._sort_key)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other):
+        if other.__class__ is WriteId:
+            return self._sort_key == other._sort_key
+        return NotImplemented
+
+    def __lt__(self, other):
+        if other.__class__ is WriteId:
+            return self._sort_key < other._sort_key
+        return NotImplemented
+
+    def __le__(self, other):
+        if other.__class__ is WriteId:
+            return self._sort_key <= other._sort_key
+        return NotImplemented
+
+    def __gt__(self, other):
+        if other.__class__ is WriteId:
+            return self._sort_key > other._sort_key
+        return NotImplemented
+
+    def __ge__(self, other):
+        if other.__class__ is WriteId:
+            return self._sort_key >= other._sort_key
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"WriteId(tid={self.tid!r}, ioid={self.ioid!r}, index={self.index!r})"
 
 
 @dataclass(frozen=True)
@@ -33,6 +76,9 @@ class Write:
     size: int
     value: Bits  # 8*size bits
     is_conditional: bool = False  # produced by a store-conditional
+    #: Memoised ``str(self)`` -- rebuilt transition labels dominate without
+    #: it; excluded from equality/hash.
+    _str: Optional[str] = field(default=None, compare=False, repr=False)
 
     @property
     def tid(self) -> int:
@@ -59,18 +105,59 @@ class Write:
         return self.value.slice(8 * offset, 8 * (offset + size) - 1)
 
     def __str__(self) -> str:
-        value = (
-            f"0x{self.value.to_int():0{2 * self.size}x}"
-            if self.value.is_known
-            else self.value.to_bitstring()
-        )
-        return f"W 0x{self.addr:016x}/{self.size}={value}"
+        cached = self._str
+        if cached is None:
+            value = (
+                f"0x{self.value.to_int():0{2 * self.size}x}"
+                if self.value.is_known
+                else self.value.to_bitstring()
+            )
+            cached = f"W 0x{self.addr:016x}/{self.size}={value}"
+            object.__setattr__(self, "_str", cached)
+        return cached
 
 
-@dataclass(frozen=True, order=True)
 class BarrierId:
-    tid: int
-    ioid: Tuple[int, int]
+    """Identifier of a committed barrier; see ``WriteId`` for the design."""
+
+    __slots__ = ("tid", "ioid", "_hash", "_sort_key")
+
+    def __init__(self, tid: int, ioid: Tuple[int, int]):
+        self.tid = tid
+        self.ioid = ioid
+        self._sort_key = (tid, ioid)
+        self._hash = hash(self._sort_key)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other):
+        if other.__class__ is BarrierId:
+            return self._sort_key == other._sort_key
+        return NotImplemented
+
+    def __lt__(self, other):
+        if other.__class__ is BarrierId:
+            return self._sort_key < other._sort_key
+        return NotImplemented
+
+    def __le__(self, other):
+        if other.__class__ is BarrierId:
+            return self._sort_key <= other._sort_key
+        return NotImplemented
+
+    def __gt__(self, other):
+        if other.__class__ is BarrierId:
+            return self._sort_key > other._sort_key
+        return NotImplemented
+
+    def __ge__(self, other):
+        if other.__class__ is BarrierId:
+            return self._sort_key >= other._sort_key
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"BarrierId(tid={self.tid!r}, ioid={self.ioid!r})"
 
 
 @dataclass(frozen=True)

@@ -8,13 +8,26 @@ values (one outcome per linearisation of residual coherence freedom).
 The search is exact, not a sampling: with the eager-transition closure the
 branching transitions are exactly the observable ordering choices, so the
 collected outcome set is the architectural envelope for the test.
+
+``explore`` and ``find_witness`` share the frontier/seen bookkeeping
+(``_Frontier``) and the ``ExplorationStats`` accounting, so witness searches
+report the same statistics as full explorations.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..sail.values import Bits
 from .system import SystemState, Transition
@@ -37,6 +50,15 @@ class ExplorationStats:
     max_frontier: int = 0
     seconds: float = 0.0
 
+    def merge(self, other: "ExplorationStats") -> None:
+        """Fold another search's accounting into this one (corpus totals)."""
+        self.states_visited += other.states_visited
+        self.transitions_taken += other.transitions_taken
+        self.final_states += other.final_states
+        self.deadlocks += other.deadlocks
+        self.max_frontier = max(self.max_frontier, other.max_frontier)
+        self.seconds += other.seconds
+
 
 @dataclass
 class ExplorationResult:
@@ -49,25 +71,107 @@ class ExplorationResult:
         return {registers for registers, _memory in self.outcomes}
 
 
-def _registers_of_interest(system: SystemState) -> List[Tuple[int, str]]:
+@dataclass
+class Witness:
+    """A witnessing execution: the abstract-machine trace plus statistics.
+
+    Unpackable, indexable and sized as the ``(trace, final_state)``
+    two-tuple that ``find_witness`` originally returned.
+    """
+
+    trace: List[Transition]
+    final_state: SystemState
+    stats: ExplorationStats
+
+    def __iter__(self) -> Iterator:
+        yield self.trace
+        yield self.final_state
+
+    def __getitem__(self, index):
+        return (self.trace, self.final_state)[index]
+
+    def __len__(self) -> int:
+        return 2
+
+
+class _Frontier:
+    """DFS frontier + seen-set bookkeeping shared by the search modes.
+
+    Each stack entry is a (state, payload) pair; ``explore`` carries no
+    payload, ``find_witness`` carries the transition path.  Popping counts
+    a visited state against the budget; pushing applies a transition,
+    counts it, and deduplicates the successor against the seen keys.
+    """
+
+    def __init__(self, initial: SystemState, payload, limit: int,
+                 stats: ExplorationStats):
+        self.limit = limit
+        self.stats = stats
+        self.stack: List[Tuple[SystemState, object]] = [(initial, payload)]
+        self.seen: Set = {initial.key()}
+
+    def __bool__(self) -> bool:
+        return bool(self.stack)
+
+    def pop(self) -> Tuple[SystemState, object]:
+        stats = self.stats
+        stats.max_frontier = max(stats.max_frontier, len(self.stack))
+        state, payload = self.stack.pop()
+        stats.states_visited += 1
+        if stats.states_visited > self.limit:
+            raise ExplorationLimit(
+                f"exceeded {self.limit} states; increase params.max_states"
+            )
+        return state, payload
+
+    def push(self, state: SystemState, transition: Transition,
+             payload) -> None:
+        successor = state.apply(transition)
+        self.stats.transitions_taken += 1
+        key = successor.key()
+        if key not in self.seen:
+            self.seen.add(key)
+            self.stack.append((successor, payload))
+
+
+def _registers_of_interest(
+    system: SystemState,
+    static_cache: Optional[Dict[int, FrozenSet[str]]] = None,
+) -> List[Tuple[int, str]]:
+    """(tid, register) pairs whose final values describe an outcome.
+
+    The static output registers of an instance depend only on its fetch
+    address (program memory is fixed for the whole exploration), so they are
+    computed once per address and cached across the search's final states;
+    each state only extends the set with its dynamically discovered writes.
+    """
+    if static_cache is None:
+        static_cache = {}
     names: List[Tuple[int, str]] = []
     for tid, thread in sorted(system.threads.items()):
         seen = set(thread.initial_registers)
         for instance in thread.instances.values():
             for record in instance.reg_writes:
                 seen.add(record.slice.reg)
-            for out in instance.static_fp.regs_out:
-                seen.add(out.reg)
+            static = static_cache.get(instance.address)
+            if static is None:
+                static = frozenset(
+                    out.reg for out in instance.static_fp.regs_out
+                )
+                static_cache[instance.address] = static
+            seen.update(static)
         for name in sorted(seen):
             names.append((tid, name))
     return names
 
 
 def _outcome_of(
-    system: SystemState, memory_cells: Iterable[Tuple[int, int]]
+    system: SystemState,
+    memory_cells: Iterable[Tuple[int, int]],
+    static_cache: Optional[Dict[int, FrozenSet[str]]] = None,
 ) -> List[Outcome]:
     registers = []
-    for tid, name in _registers_of_interest(system):
+    for tid, name in _registers_of_interest(system, static_cache):
         value = system.threads[tid].final_register_value(system.model, name)
         registers.append(
             (tid, name, value.to_int() if value.is_known else None)
@@ -101,24 +205,18 @@ def explore(
     stats = ExplorationStats()
     outcomes: Set[Outcome] = set()
     deadlocks: List[SystemState] = []
+    static_cache: Dict[int, FrozenSet[str]] = {}
     started = time.perf_counter()
 
-    stack: List[SystemState] = [initial]
-    seen: Set = {initial.key()}
-    while stack:
-        stats.max_frontier = max(stats.max_frontier, len(stack))
-        state = stack.pop()
-        stats.states_visited += 1
-        if stats.states_visited > limit:
-            raise ExplorationLimit(
-                f"exceeded {limit} states; increase params.max_states"
-            )
+    frontier = _Frontier(initial, None, limit, stats)
+    while frontier:
+        state, _ = frontier.pop()
         if state.is_final():
             # Residual propagate/ack transitions only add coherence edges;
             # the final-memory enumeration over linear extensions of the
             # current partial order already covers every continuation.
             stats.final_states += 1
-            outcomes.update(_outcome_of(state, cells))
+            outcomes.update(_outcome_of(state, cells, static_cache))
             continue
         transitions = state.enumerate_transitions()
         if not transitions:
@@ -135,12 +233,7 @@ def explore(
                 + state.render()
             )
         for transition in transitions:
-            successor = state.apply(transition)
-            stats.transitions_taken += 1
-            key = successor.key()
-            if key not in seen:
-                seen.add(key)
-                stack.append(successor)
+            frontier.push(state, transition, None)
 
     stats.seconds = time.perf_counter() - started
     return ExplorationResult(outcomes, stats, deadlocks)
@@ -151,35 +244,39 @@ def find_witness(
     predicate,
     memory_cells: Iterable[Tuple[int, int]] = (),
     max_states: Optional[int] = None,
-):
+) -> Optional[Witness]:
     """Search for one execution whose outcome satisfies ``predicate``.
 
-    Returns (transition_list, final_state) for the first witnessing
-    execution found, or None if the predicate is unsatisfiable.  The
-    transition list is the abstract-machine trace behind the outcome --
-    the executable counterpart of the paper's execution diagrams.
+    Returns a ``Witness`` (unpackable as ``(trace, final_state)``, with
+    ``.stats`` carrying the same accounting as ``explore``) for the first
+    witnessing execution found, or None if the predicate is unsatisfiable.
+    The trace is the abstract-machine run behind the outcome -- the
+    executable counterpart of the paper's execution diagrams.
     """
     limit = max_states if max_states is not None else initial.params.max_states
     cells = tuple(memory_cells)
-    stack: List[Tuple[SystemState, Tuple[Transition, ...]]] = [(initial, ())]
-    seen = {initial.key()}
-    visited = 0
-    while stack:
-        state, path = stack.pop()
-        visited += 1
-        if visited > limit:
-            raise ExplorationLimit(f"exceeded {limit} states in witness search")
+    stats = ExplorationStats()
+    static_cache: Dict[int, FrozenSet[str]] = {}
+    started = time.perf_counter()
+
+    frontier = _Frontier(initial, (), limit, stats)
+    while frontier:
+        state, path = frontier.pop()
         if state.is_final():
-            for outcome in _outcome_of(state, cells):
+            stats.final_states += 1
+            for outcome in _outcome_of(state, cells, static_cache):
                 if predicate(outcome):
-                    return list(path), state
+                    stats.seconds = time.perf_counter() - started
+                    return Witness(list(path), state, stats)
             continue
-        for transition in state.enumerate_transitions():
-            successor = state.apply(transition)
-            key = successor.key()
-            if key not in seen:
-                seen.add(key)
-                stack.append((successor, path + (transition,)))
+        transitions = state.enumerate_transitions()
+        if not transitions and state.threads_finished():
+            stats.deadlocks += 1
+            continue
+        for transition in transitions:
+            frontier.push(state, transition, path + (transition,))
+
+    stats.seconds = time.perf_counter() - started
     return None
 
 
@@ -190,16 +287,24 @@ def run_one(initial: SystemState, choose=None, max_steps: int = 100000):
     the first.  Used by the interactive front-end and the emulator mode.
     """
     state = initial
-    for _ in range(max_steps):
+    last: Optional[Transition] = None
+    for step in range(max_steps):
         if state.is_final():
             return state
         transitions = state.enumerate_transitions()
         if not transitions:
             raise ModelError(
-                "deadlock in single execution\n" + state.render()
+                f"deadlock in single execution after {step} steps "
+                f"(last transition: {last if last is not None else 'none'})\n"
+                + state.render()
             )
         transition = transitions[0] if choose is None else choose(
             state, transitions
         )
         state = state.apply(transition)
-    raise ModelError("execution did not terminate within the step budget")
+        last = transition
+    raise ModelError(
+        f"execution did not terminate within the step budget "
+        f"({max_steps} steps; last transition: "
+        f"{last if last is not None else 'none'})"
+    )

@@ -1,0 +1,154 @@
+"""Parallel litmus-corpus exploration.
+
+State graphs of distinct litmus tests are independent, so the natural unit
+of parallelism is one test: the corpus is sharded per test across
+``multiprocessing`` workers, each of which builds (or, with the ``fork``
+start method, inherits) the process-wide ISA model and runs the ordinary
+exhaustive oracle.  Results come back as slim, picklable
+``CorpusTestResult`` records whose ``ExplorationStats`` are merged into
+corpus-level totals.
+
+``explore_corpus`` takes ``(name, source)`` pairs so workers re-parse the
+litmus source themselves -- litmus files are tiny, and shipping text keeps
+the worker protocol independent of every internal class being picklable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from .exhaustive import ExplorationLimit, ExplorationStats
+from .params import DEFAULT_PARAMS, ModelParams
+
+#: One unit of work: (test name, litmus source, params, max_states).
+Task = Tuple[str, str, ModelParams, Optional[int]]
+
+
+@dataclass
+class CorpusTestResult:
+    """Slim, picklable summary of one test's exhaustive run."""
+
+    name: str
+    status: str  # litmus verdict ("Allowed", ...) or "StateLimit" on budget
+    witnessed: bool
+    holds_always: bool
+    outcomes: Set[Tuple]  # the full outcome set (register/memory tuples)
+    stats: ExplorationStats
+    error: Optional[str] = None  # set when the state budget was exhausted
+
+    @property
+    def outcome_count(self) -> int:
+        return len(self.outcomes)
+
+
+@dataclass
+class CorpusReport:
+    """All per-test results of a corpus run plus scheduling metadata."""
+
+    results: List[CorpusTestResult]
+    jobs: int
+    wall_seconds: float
+
+    def merged_stats(self) -> ExplorationStats:
+        """Corpus totals: sums of counters, max frontier, summed CPU time."""
+        merged = ExplorationStats()
+        for result in self.results:
+            merged.merge(result.stats)
+        return merged
+
+    def by_name(self, name: str) -> CorpusTestResult:
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(name)
+
+
+def default_job_count() -> int:
+    return os.cpu_count() or 1
+
+
+def _init_worker() -> None:
+    """Warm the process-wide ISA model once per worker."""
+    from ..isa.model import default_model
+
+    default_model()
+
+
+def _run_task(task: Task) -> CorpusTestResult:
+    """Worker body: parse and exhaustively run one litmus test."""
+    # Imported lazily: this module lives below repro.litmus in the package
+    # graph, and the imports also must happen inside spawned workers.
+    from ..isa.model import default_model
+    from ..litmus.parser import parse_litmus
+    from ..litmus.runner import run_litmus
+
+    name, source, params, max_states = task
+    test = parse_litmus(source)
+    try:
+        result = run_litmus(
+            test, default_model(), params=params, max_states=max_states
+        )
+    except ExplorationLimit as limit:
+        # A budget-exhausted test is a reportable per-test outcome, not a
+        # corpus-wide crash (e.g. IRIW+syncs exceeds the Python budget).
+        return CorpusTestResult(
+            name=name if name else test.name,
+            status="StateLimit",
+            witnessed=False,
+            holds_always=False,
+            outcomes=set(),
+            stats=ExplorationStats(),
+            error=str(limit),
+        )
+    return CorpusTestResult(
+        name=name if name else test.name,
+        status=result.status,
+        witnessed=result.witnessed,
+        holds_always=result.holds_always,
+        outcomes=result.outcomes,
+        stats=result.exploration.stats,
+    )
+
+
+def explore_corpus(
+    items: Sequence[Tuple[str, str]],
+    jobs: Optional[int] = None,
+    params: ModelParams = DEFAULT_PARAMS,
+    max_states: Optional[int] = None,
+) -> CorpusReport:
+    """Exhaustively run a corpus of litmus tests, sharded across workers.
+
+    ``items`` is a sequence of (name, litmus source) pairs; ``jobs`` defaults
+    to the machine's CPU count.  ``jobs=1`` (or a single test) runs inline in
+    this process -- same results, no pool overhead.
+    """
+    resolved_jobs = jobs if jobs is not None else default_job_count()
+    if resolved_jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {resolved_jobs}")
+    tasks: List[Task] = [
+        (name, source, params, max_states) for name, source in items
+    ]
+    resolved_jobs = min(resolved_jobs, max(1, len(tasks)))
+    started = time.perf_counter()
+    if resolved_jobs == 1:
+        results = [_run_task(task) for task in tasks]
+    else:
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in methods else None
+        context = multiprocessing.get_context(method)
+        if method == "fork":
+            # Parse the ISA model once here; forked workers inherit it.
+            _init_worker()
+        with context.Pool(
+            processes=resolved_jobs, initializer=_init_worker
+        ) as pool:
+            # Per-test granularity (chunksize=1): state-graph sizes vary by
+            # orders of magnitude, so fine-grained scheduling load-balances.
+            results = pool.map(_run_task, tasks, chunksize=1)
+    wall = time.perf_counter() - started
+    return CorpusReport(results=results, jobs=resolved_jobs, wall_seconds=wall)

@@ -33,6 +33,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..sail.values import Bits
 from .events import INITIAL_TID, BarrierEvent, BarrierId, Write, WriteId
+from .keys import CachedKey
 
 #: An entry of a propagation list: ("w", WriteId) or ("b", BarrierId).
 Event = Tuple[str, object]
@@ -42,12 +43,46 @@ class CoherenceViolation(Exception):
     """A transition would create a coherence cycle or break an atomic pair."""
 
 
+#: Key of an empty propagation list; the chain grows one cons pair per event.
+_EMPTY_EVENTS_KEY = CachedKey(())
+
+
 class StorageSubsystem:
     """Mutable storage-subsystem state with explicit transition methods.
 
     The explorer clones the state before applying branching transitions;
-    ``clone`` and ``key`` are therefore part of the core interface.
+    ``clone`` and ``key`` are therefore part of the core interface.  The
+    transition methods validate their preconditions by default; the system
+    state passes ``checked=True`` when applying a transition that was just
+    produced by enumeration (the check already ran on an identical state).
     """
+
+    __slots__ = (
+        "threads",
+        "writes_seen",
+        "coherence_after",
+        "events_propagated_to",
+        "barriers_seen",
+        "unacknowledged_syncs",
+        "acknowledged_syncs",
+        "atomic_pairs",
+        "coherence_points",
+        "_events_pos",
+        "_barrier_prefix",
+        "_overlaps",
+        "_writes_prop",
+        "_read_cache",
+        "_sorted_wids",
+        "_sorted_bids",
+        "_transitions_cache",
+        "_key_cache",
+        "_writes_key",
+        "_coh_key",
+        "_events_keys",
+        "_syncs_key",
+        "_atomic_key",
+        "_cp_key",
+    )
 
     def __init__(self, threads: Iterable[int]):
         self.threads: Tuple[int, ...] = tuple(threads)
@@ -69,44 +104,154 @@ class StorageSubsystem:
         #: writes by a barrier in some propagation list cannot reach its
         #: coherence point before they do.
         self.coherence_points: Set[WriteId] = set()
+        #: Index of each propagation list: event -> position.  Doubles as an
+        #: O(1) membership set for the can_propagate/can_acknowledge checks.
+        self._events_pos: Dict[int, Dict[Event, int]] = {
+            tid: {} for tid in self.threads
+        }
+        #: Per-thread propagation-list keys, maintained incrementally as a
+        #: hash-consed chain: appending an event hashes one pair instead of
+        #: re-walking the whole list.
+        self._events_keys: Dict[int, CachedKey] = {
+            tid: _EMPTY_EVENTS_KEY for tid in self.threads
+        }
+        #: Per-thread (position, event) list of barrier events, so Group-A
+        #: prefix checks scan the few barriers instead of the whole list.
+        self._barrier_prefix: Dict[int, List[Tuple[int, Event]]] = {
+            tid: [] for tid in self.threads
+        }
+        #: wid -> frozenset of overlapping wids, maintained on acceptance so
+        #: the hot coherence checks avoid pairwise footprint comparisons.
+        self._overlaps: Dict[WriteId, FrozenSet[WriteId]] = {}
+        #: Per-thread list of propagated writes; rebuilt on invalidation,
+        #: never mutated in place (so clones may share list objects).
+        self._writes_prop: Dict[int, Optional[List[Write]]] = {
+            tid: [] for tid in self.threads
+        }
+        #: Per-thread read-response memo, replaced (never cleared in place)
+        #: when a write propagates, so clones can share the inner dicts.
+        self._read_cache: Dict[int, Dict[Tuple[int, int], tuple]] = {
+            tid: {} for tid in self.threads
+        }
+        #: Sorted write/barrier ids, for deterministic enumeration loops.
+        self._sorted_wids: Optional[List[WriteId]] = None
+        self._sorted_bids: Optional[List[BarrierId]] = None
+        #: Memoised storage-side transition options (see SystemState): a
+        #: pure function of this object's state, dropped on any mutation.
+        self._transitions_cache: Optional[list] = None
+        #: Memoised ``key()`` and its components; mutators drop exactly the
+        #: slices they touch (per-tid event keys live in ``_events_keys``).
+        self._key_cache: Optional[CachedKey] = None
+        self._writes_key: Optional[CachedKey] = None
+        self._coh_key: Optional[CachedKey] = None
+        self._syncs_key: Optional[CachedKey] = None
+        self._atomic_key: Optional[CachedKey] = None
+        self._cp_key: Optional[CachedKey] = None
+
+    def _append_event(self, tid: int, event: Event) -> None:
+        """Append to a propagation list, maintaining the derived indexes.
+
+        Like every mutator, this *replaces* the structures it changes
+        instead of updating them in place: ``clone`` shares everything, so
+        in-place mutation would leak into sibling states.
+        """
+        events = self.events_propagated_to[tid]
+        self.events_propagated_to = {
+            **self.events_propagated_to, tid: events + [event]
+        }
+        self._events_pos = {
+            **self._events_pos,
+            tid: {**self._events_pos[tid], event: len(events)},
+        }
+        if event[0] == "w":
+            self._writes_prop = {**self._writes_prop, tid: None}
+            self._read_cache = {**self._read_cache, tid: {}}
+        else:
+            self._barrier_prefix = {
+                **self._barrier_prefix,
+                tid: self._barrier_prefix[tid] + [(len(events), event)],
+            }
+        self._events_keys = {
+            **self._events_keys,
+            tid: CachedKey((self._events_keys[tid], event)),
+        }
+        self._key_cache = None
+        self._transitions_cache = None
 
     # ------------------------------------------------------------------
     # Cloning and memoisation keys
     # ------------------------------------------------------------------
 
     def clone(self) -> "StorageSubsystem":
-        other = StorageSubsystem(self.threads)
-        other.writes_seen = dict(self.writes_seen)
-        other.coherence_after = {
-            wid: set(succ) for wid, succ in self.coherence_after.items()
-        }
-        other.events_propagated_to = {
-            tid: list(events) for tid, events in self.events_propagated_to.items()
-        }
-        other.barriers_seen = dict(self.barriers_seen)
-        other.unacknowledged_syncs = set(self.unacknowledged_syncs)
-        other.acknowledged_syncs = set(self.acknowledged_syncs)
-        other.atomic_pairs = set(self.atomic_pairs)
-        other.coherence_points = set(self.coherence_points)
+        """O(1) clone: every structure is shared with the original.
+
+        Sound because mutators replace the structures they change rather
+        than updating them in place (see ``_append_event``); the only
+        in-place writes anywhere are pure-memo fill-ins (``read_response``,
+        ``writes_propagated_to``), which are consistent across sharers by
+        construction.
+        """
+        other = StorageSubsystem.__new__(StorageSubsystem)
+        other.threads = self.threads
+        other.writes_seen = self.writes_seen
+        other.coherence_after = self.coherence_after
+        other.events_propagated_to = self.events_propagated_to
+        other.barriers_seen = self.barriers_seen
+        other.unacknowledged_syncs = self.unacknowledged_syncs
+        other.acknowledged_syncs = self.acknowledged_syncs
+        other.atomic_pairs = self.atomic_pairs
+        other.coherence_points = self.coherence_points
+        other._events_pos = self._events_pos
+        other._barrier_prefix = self._barrier_prefix
+        other._overlaps = self._overlaps
+        other._writes_prop = self._writes_prop
+        other._read_cache = self._read_cache
+        other._sorted_wids = self._sorted_wids
+        other._sorted_bids = self._sorted_bids
+        other._transitions_cache = self._transitions_cache
+        other._key_cache = self._key_cache
+        other._writes_key = self._writes_key
+        other._coh_key = self._coh_key
+        other._events_keys = self._events_keys
+        other._syncs_key = self._syncs_key
+        other._atomic_key = self._atomic_key
+        other._cp_key = self._cp_key
         return other
 
-    def key(self):
-        return (
-            tuple(sorted(self.writes_seen)),
-            tuple(
+    def key(self) -> CachedKey:
+        """Memoised state key, assembled from per-component cached keys.
+
+        Each component caches its own tuple and hash, so a transition that
+        (say) propagates one write re-keys only that thread's event list
+        instead of re-walking and re-hashing the whole storage state.
+        """
+        cached = self._key_cache
+        if cached is not None:
+            return cached
+        if self._writes_key is None:
+            self._writes_key = CachedKey(tuple(sorted(self.writes_seen)))
+        if self._coh_key is None:
+            self._coh_key = CachedKey(tuple(
                 (wid, tuple(sorted(succ)))
                 for wid, succ in sorted(self.coherence_after.items())
                 if succ
-            ),
-            tuple(
-                (tid, tuple(events))
-                for tid, events in sorted(self.events_propagated_to.items())
-            ),
-            tuple(sorted(self.unacknowledged_syncs)),
-            tuple(sorted(self.acknowledged_syncs)),
-            tuple(sorted(self.atomic_pairs)),
-            tuple(sorted(self.coherence_points)),
-        )
+            ))
+        events_keys = self._events_keys
+        self.syncs_key()
+        if self._atomic_key is None:
+            self._atomic_key = CachedKey(tuple(sorted(self.atomic_pairs)))
+        if self._cp_key is None:
+            self._cp_key = CachedKey(tuple(sorted(self.coherence_points)))
+        cached = CachedKey((
+            self._writes_key,
+            self._coh_key,
+            tuple((tid, events_keys[tid]) for tid in self.threads),
+            self._syncs_key,
+            self._atomic_key,
+            self._cp_key,
+        ))
+        self._key_cache = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Coherence bookkeeping
@@ -151,13 +296,18 @@ class StorageSubsystem:
             raise CoherenceViolation(f"coherence cycle: {first} <-> {second}")
         if self._breaks_atomic_pair(first, second):
             raise CoherenceViolation("edge violates store-conditional atomicity")
+        self._key_cache = None
+        self._transitions_cache = None
+        self._coh_key = None
         befores = [
             wid for wid, succ in self.coherence_after.items() if first in succ
         ] + [first]
-        afters = list(self.coherence_after.get(second, ())) + [second]
+        afters = frozenset(self.coherence_after.get(second, ())) | {second}
+        coherence = dict(self.coherence_after)
         for before in befores:
-            successors = self.coherence_after.setdefault(before, set())
-            successors.update(afters)
+            existing = coherence.get(before)
+            coherence[before] = afters if existing is None else existing | afters
+        self.coherence_after = coherence
 
     def can_add_coherence(self, first: WriteId, second: WriteId) -> bool:
         if self.coherence_before(first, second):
@@ -172,14 +322,38 @@ class StorageSubsystem:
     # ------------------------------------------------------------------
 
     def writes_propagated_to(self, tid: int) -> List[Write]:
-        return [
-            self.writes_seen[payload]
-            for kind, payload in self.events_propagated_to[tid]
-            if kind == "w"
-        ]
+        """Writes visible to ``tid``, in propagation order.
+
+        The returned list is a shared cache: callers must not mutate it.
+        """
+        cached = self._writes_prop[tid]
+        if cached is None:
+            cached = [
+                self.writes_seen[payload]
+                for kind, payload in self.events_propagated_to[tid]
+                if kind == "w"
+            ]
+            self._writes_prop[tid] = cached
+        return cached
 
     def is_propagated_to(self, event: Event, tid: int) -> bool:
-        return event in self.events_propagated_to[tid]
+        return event in self._events_pos[tid]
+
+    def sorted_wids(self) -> List[WriteId]:
+        """All seen write ids in sorted order (cached; do not mutate)."""
+        cached = self._sorted_wids
+        if cached is None:
+            cached = sorted(self.writes_seen)
+            self._sorted_wids = cached
+        return cached
+
+    def sorted_bids(self) -> List[BarrierId]:
+        """All seen barrier ids in sorted order (cached; do not mutate)."""
+        cached = self._sorted_bids
+        if cached is None:
+            cached = sorted(self.barriers_seen)
+            self._sorted_bids = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Transitions
@@ -189,25 +363,57 @@ class StorageSubsystem:
         """Accept a write request from its thread (thread-side store commit)."""
         if write.wid in self.writes_seen:
             raise ValueError(f"duplicate write {write.wid}")
-        self.writes_seen[write.wid] = write
+        self._key_cache = None
+        self._transitions_cache = None
+        self._writes_key = None
+        self._sorted_wids = None
+        self.writes_seen = {**self.writes_seen, write.wid: write}
+        self._record_overlaps(write)
+        overlapping = self._overlaps[write.wid]
         for prior in self.writes_propagated_to(write.tid):
-            if prior.overlaps_write(write):
+            if prior.wid in overlapping:
                 self.add_coherence(prior.wid, write.wid)
-        self.events_propagated_to[write.tid].append(("w", write.wid))
+        self._append_event(write.tid, ("w", write.wid))
+
+    def _record_overlaps(self, write: Write) -> None:
+        """Extend the wid-overlap map with a newly seen write."""
+        wid = write.wid
+        overlapping = frozenset(
+            other_wid
+            for other_wid, other in self.writes_seen.items()
+            if other_wid != wid and other.overlaps_write(write)
+        )
+        overlaps = dict(self._overlaps)
+        overlaps[wid] = overlapping
+        for other_wid in overlapping:
+            overlaps[other_wid] = overlaps[other_wid] | {wid}
+        self._overlaps = overlaps
 
     def accept_initial_writes(self, writes: Iterable[Write]) -> None:
         """Install the initial memory state, propagated to every thread."""
+        self._key_cache = None
+        self._transitions_cache = None
+        self._writes_key = None
+        self._cp_key = None
+        self._sorted_wids = None
         for write in writes:
-            self.writes_seen[write.wid] = write
-            self.coherence_points.add(write.wid)
+            self.writes_seen = {**self.writes_seen, write.wid: write}
+            self._record_overlaps(write)
+            self.coherence_points = self.coherence_points | {write.wid}
             for tid in self.threads:
-                self.events_propagated_to[tid].append(("w", write.wid))
+                self._append_event(tid, ("w", write.wid))
 
     def accept_barrier(self, barrier: BarrierEvent) -> None:
-        self.barriers_seen[barrier.bid] = barrier
-        self.events_propagated_to[barrier.tid].append(("b", barrier.bid))
+        self._key_cache = None
+        self._transitions_cache = None
+        self._sorted_bids = None
+        self.barriers_seen = {**self.barriers_seen, barrier.bid: barrier}
+        self._append_event(barrier.tid, ("b", barrier.bid))
         if barrier.kind == "sync":
-            self.unacknowledged_syncs.add(barrier.bid)
+            self._syncs_key = None
+            self.unacknowledged_syncs = self.unacknowledged_syncs | {
+                barrier.bid
+            }
 
     # -- propagate write -------------------------------------------------
 
@@ -215,44 +421,52 @@ class StorageSubsystem:
         """Barrier events preceding ``event`` in its origin thread's list."""
         kind, payload = event
         tid = payload.tid
-        result = []
-        for entry in self.events_propagated_to[tid]:
-            if entry == event:
-                break
-            if entry[0] == "b":
-                result.append(entry)
-        return result
+        position = self._events_pos[tid].get(event)
+        if position is None:
+            return [e for e in self.events_propagated_to[tid] if e[0] == "b"]
+        return [
+            entry
+            for entry in self.events_propagated_to[tid][:position]
+            if entry[0] == "b"
+        ]
 
     def can_propagate_write(self, wid: WriteId, target: int) -> bool:
         write = self.writes_seen.get(wid)
         if write is None or write.tid == target:
             return False
         event = ("w", wid)
-        if event in self.events_propagated_to[target]:
+        target_pos = self._events_pos[target]
+        if event in target_pos:
             return False
-        if event not in self.events_propagated_to[write.tid]:
+        position = self._events_pos[write.tid].get(event)
+        if position is None:
             return False
         # Group-A / cumulativity condition: every barrier that precedes the
         # write in its origin thread's list must already be at the target.
-        for barrier_event in self._barriers_before_event_in_origin(event):
-            if barrier_event not in self.events_propagated_to[target]:
+        for barrier_position, entry in self._barrier_prefix[write.tid]:
+            if barrier_position >= position:
+                break
+            if entry not in target_pos:
                 return False
         # Coherence: the write must be placeable after every overlapping
         # write already propagated to the target.
+        overlapping = self._overlaps[wid]
         for prior in self.writes_propagated_to(target):
-            if prior.wid != wid and prior.overlaps_write(write):
+            if prior.wid in overlapping:
                 if not self.can_add_coherence(prior.wid, wid):
                     return False
         return True
 
-    def propagate_write(self, wid: WriteId, target: int) -> None:
-        if not self.can_propagate_write(wid, target):
+    def propagate_write(
+        self, wid: WriteId, target: int, checked: bool = False
+    ) -> None:
+        if not checked and not self.can_propagate_write(wid, target):
             raise CoherenceViolation(f"cannot propagate {wid} to thread {target}")
-        write = self.writes_seen[wid]
+        overlapping = self._overlaps[wid]
         for prior in self.writes_propagated_to(target):
-            if prior.wid != wid and prior.overlaps_write(write):
+            if prior.wid in overlapping:
                 self.add_coherence(prior.wid, wid)
-        self.events_propagated_to[target].append(("w", wid))
+        self._append_event(target, ("w", wid))
 
     # -- propagate barrier -------------------------------------------------
 
@@ -266,7 +480,7 @@ class StorageSubsystem:
         like 2+2W+syncs would wedge: the old write can neither propagate
         (coherence cycle) nor be waived (sync never acknowledges).
         """
-        if ("w", wid) in self.events_propagated_to[target]:
+        if ("w", wid) in self._events_pos[target]:
             return True
         write = self.writes_seen[wid]
         for offset in range(write.size):
@@ -285,44 +499,49 @@ class StorageSubsystem:
         if barrier is None or barrier.tid == target:
             return False
         event = ("b", bid)
-        if event in self.events_propagated_to[target]:
+        target_pos = self._events_pos[target]
+        if event in target_pos:
             return False
         # All of the barrier's Group A (events before it in its origin
         # thread's list) must already have reached the target; superseded
         # writes count as effectively there.
-        for entry in self.events_propagated_to[barrier.tid]:
-            if entry == event:
-                break
+        origin = self.events_propagated_to[barrier.tid]
+        position = self._events_pos[barrier.tid].get(event, len(origin))
+        for entry in origin[:position]:
             if entry[0] == "w":
                 if not self.write_effectively_propagated(entry[1], target):
                     return False
-            elif entry not in self.events_propagated_to[target]:
+            elif entry not in target_pos:
                 return False
         return True
 
-    def propagate_barrier(self, bid: BarrierId, target: int) -> None:
-        if not self.can_propagate_barrier(bid, target):
+    def propagate_barrier(
+        self, bid: BarrierId, target: int, checked: bool = False
+    ) -> None:
+        if not checked and not self.can_propagate_barrier(bid, target):
             raise CoherenceViolation(f"cannot propagate {bid} to thread {target}")
-        self.events_propagated_to[target].append(("b", bid))
+        self._append_event(target, ("b", bid))
 
     # -- coherence points ----------------------------------------------------
 
-    def _cp_blockers(self, wid: WriteId) -> List[WriteId]:
-        """Writes that must reach their coherence point before ``wid`` can.
+    def _has_cp_blocker(self, wid: WriteId) -> bool:
+        """Must some other write reach its coherence point before ``wid``?
 
-        In every propagation list containing ``wid``: (a) earlier overlapping
-        writes; (b) any write separated from ``wid`` by a barrier (this is
-        the barriers' write-write cumulative force -- sync, lwsync and eieio
-        all order coherence points of the writes around them).
+        Blockers, in every propagation list containing ``wid``: (a) earlier
+        overlapping writes; (b) any write separated from ``wid`` by a
+        barrier (this is the barriers' write-write cumulative force -- sync,
+        lwsync and eieio all order coherence points of the writes around
+        them).  Short-circuits on the first blocker not yet at its
+        coherence point.
         """
-        write = self.writes_seen[wid]
-        blockers: Set[WriteId] = set()
+        cps = self.coherence_points
+        overlapping = self._overlaps[wid]
         event = ("w", wid)
         for tid in self.threads:
-            events = self.events_propagated_to[tid]
-            if event not in events:
+            position = self._events_pos[tid].get(event)
+            if position is None:
                 continue
-            position = events.index(event)
+            events = self.events_propagated_to[tid]
             last_barrier_index = -1
             for i in range(position - 1, -1, -1):
                 if events[i][0] == "b":
@@ -330,25 +549,19 @@ class StorageSubsystem:
                     break
             for i in range(position):
                 kind, payload = events[i]
-                if kind != "w":
+                if kind != "w" or payload in cps:
                     continue
-                other = self.writes_seen[payload]
-                if other.overlaps_write(write) and payload != wid:
-                    blockers.add(payload)
-                elif i < last_barrier_index:
-                    blockers.add(payload)
-        return [b for b in blockers if b not in self.coherence_points]
+                if i < last_barrier_index or payload in overlapping:
+                    return True
+        return False
 
     def can_reach_coherence_point(self, wid: WriteId) -> bool:
         if wid in self.coherence_points or wid not in self.writes_seen:
             return False
-        if self._cp_blockers(wid):
+        if self._has_cp_blocker(wid):
             return False
         # The coherence edges this step commits must be consistent.
-        write = self.writes_seen[wid]
-        for other_wid, other in self.writes_seen.items():
-            if other_wid == wid or not other.overlaps_write(write):
-                continue
+        for other_wid in self._overlaps[wid]:
             if other_wid in self.coherence_points:
                 if not self.can_add_coherence(other_wid, wid):
                     return False
@@ -357,27 +570,44 @@ class StorageSubsystem:
                     return False
         return True
 
-    def reach_coherence_point(self, wid: WriteId) -> None:
+    def reach_coherence_point(self, wid: WriteId, checked: bool = False) -> None:
         """Commit ``wid``'s coherence position (the PLDI12-style transition).
 
         The write becomes coherence-after every overlapping write already
         past its coherence point, and coherence-before every overlapping
         write that has not reached it yet.
         """
-        if not self.can_reach_coherence_point(wid):
+        if not checked and not self.can_reach_coherence_point(wid):
             raise CoherenceViolation(f"{wid} cannot reach its coherence point")
-        write = self.writes_seen[wid]
-        for other_wid, other in self.writes_seen.items():
-            if other_wid == wid or not other.overlaps_write(write):
-                continue
+        self._key_cache = None
+        self._transitions_cache = None
+        self._cp_key = None
+        for other_wid in sorted(self._overlaps[wid]):
             if other_wid in self.coherence_points:
                 self.add_coherence(other_wid, wid)
             else:
                 self.add_coherence(wid, other_wid)
-        self.coherence_points.add(wid)
+        self.coherence_points = self.coherence_points | {wid}
 
     def all_writes_past_coherence_point(self) -> bool:
-        return all(wid in self.coherence_points for wid in self.writes_seen)
+        # coherence_points only ever holds seen write ids, so comparing
+        # cardinalities is equivalent to the per-write membership test.
+        return len(self.coherence_points) == len(self.writes_seen)
+
+    def syncs_key(self) -> CachedKey:
+        """Cached key of the sync-acknowledgement state (unacked + acked).
+
+        Used by the system state as the storage-side context of its
+        per-thread transition-option cache.
+        """
+        cached = self._syncs_key
+        if cached is None:
+            cached = CachedKey((
+                tuple(sorted(self.unacknowledged_syncs)),
+                tuple(sorted(self.acknowledged_syncs)),
+            ))
+            self._syncs_key = cached
+        return cached
 
     # -- sync acknowledgement ----------------------------------------------
 
@@ -386,15 +616,25 @@ class StorageSubsystem:
             return False
         event = ("b", bid)
         return all(
-            event in self.events_propagated_to[tid]
+            event in self._events_pos[tid]
             for tid in self.threads
         )
 
-    def acknowledge_sync(self, bid: BarrierId) -> None:
-        if not self.can_acknowledge_sync(bid):
+    def acknowledge_sync(self, bid: BarrierId, checked: bool = False) -> None:
+        if not checked and not self.can_acknowledge_sync(bid):
             raise CoherenceViolation(f"cannot acknowledge {bid}")
-        self.unacknowledged_syncs.discard(bid)
-        self.acknowledged_syncs.add(bid)
+        self._key_cache = None
+        self._transitions_cache = None
+        self._syncs_key = None
+        self.unacknowledged_syncs = self.unacknowledged_syncs - {bid}
+        self.acknowledged_syncs = self.acknowledged_syncs | {bid}
+
+    def record_atomic_pair(self, read_wid: WriteId, cond_wid: WriteId) -> None:
+        """Record a load-reserve/store-conditional atomicity constraint."""
+        self._key_cache = None
+        self._transitions_cache = None
+        self._atomic_key = None
+        self.atomic_pairs = self.atomic_pairs | {(read_wid, cond_wid)}
 
     # -- read responses -----------------------------------------------------
 
@@ -405,7 +645,15 @@ class StorageSubsystem:
 
         Returns the value plus the per-byte-run provenance: tuples of
         (write id, first byte offset within the read, length).
+
+        Responses are memoised per thread and invalidated when a write
+        propagates to it, since identical reads recur along sibling
+        interleavings that share the thread's propagation list.
         """
+        cache = self._read_cache[tid]
+        cached = cache.get((addr, size))
+        if cached is not None:
+            return cached
         propagated = self.writes_propagated_to(tid)
         byte_sources: List[Optional[Write]] = [None] * size
         for write in propagated:  # list order; later entries win
@@ -428,7 +676,9 @@ class StorageSubsystem:
                 provenance[-1] = (wid, start, length + 1)
             else:
                 provenance.append((source.wid, i, 1))
-        return value, tuple(provenance)
+        result = (value, tuple(provenance))
+        cache[(addr, size)] = result
+        return result
 
     # ------------------------------------------------------------------
     # Final memory values

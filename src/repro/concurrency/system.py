@@ -41,6 +41,7 @@ from ..sail.outcomes import (
 )
 from ..sail.values import Bits, FALSE, TRUE
 from .events import BarrierEvent, BarrierId, Write, WriteId, initial_write
+from .keys import CachedKey
 from .params import DEFAULT_PARAMS, ModelParams
 from .storage import StorageSubsystem
 from .thread import (
@@ -74,7 +75,16 @@ class Transition:
 
 
 class SystemState:
-    """Mutable system state; cloned by the explorer before each transition."""
+    """Mutable system state; cloned by the explorer before each transition.
+
+    ``clone()`` is copy-on-write: the new state shares every thread and the
+    storage subsystem with its parent and copies a slice only when a
+    transition actually mutates it (``_own_thread`` / ``_own_storage``).
+    Transitions touch one thread plus at most the storage subsystem, so a
+    successor state typically copies one thread's instances instead of every
+    instance of every thread.  All mutation paths must acquire their targets
+    through the ``_own_*`` helpers; reading shared state is always safe.
+    """
 
     def __init__(
         self,
@@ -108,6 +118,12 @@ class SystemState:
             thread = ThreadState(tid, initial_registers.get(tid, {}))
             thread.initial_fetch_address = entry
             self.threads[tid] = thread
+        # A freshly built state owns everything it references.
+        self._owned_tids = set(self.threads)
+        self._owns_storage = True
+        self._key_cache: Optional[CachedKey] = None
+        self._threads_key: Optional[Tuple] = None
+        self._sorted_tids = sorted(self.threads)
         if params.eager:
             self.eager_closure()
 
@@ -116,6 +132,38 @@ class SystemState:
     # ------------------------------------------------------------------
 
     def clone(self) -> "SystemState":
+        """Copy-on-write clone: shares threads and storage with ``self``.
+
+        Both sides lose write ownership of the shared structures; either
+        will copy a thread (or the storage subsystem) the first time it
+        mutates it.  Use ``clone_eager`` for a fully independent deep copy.
+        """
+        other = SystemState.__new__(SystemState)
+        other.model = self.model
+        other.params = self.params
+        other.program_memory = self.program_memory  # immutable use
+        other.symbols = self.symbols
+        other.threads = dict(self.threads)
+        other.storage = self.storage
+        other._owned_tids = set()
+        other._owns_storage = False
+        other._key_cache = None
+        # The clone's threads are the same objects, so the composite
+        # thread-key tuple carries over until one of them is mutated.
+        other._threads_key = self._threads_key
+        other._sorted_tids = self._sorted_tids
+        self._owned_tids = set()
+        self._owns_storage = False
+        return other
+
+    def clone_eager(self) -> "SystemState":
+        """Deep clone copying every thread, instance and the storage state.
+
+        This is the pre-COW cloning path, kept as the reference
+        implementation: the determinism regression tests check that states
+        produced through COW cloning are ``key()``-identical to states
+        produced through this eager path.
+        """
         other = SystemState.__new__(SystemState)
         other.model = self.model
         other.params = self.params
@@ -123,13 +171,50 @@ class SystemState:
         other.symbols = self.symbols
         other.threads = {tid: t.clone() for tid, t in self.threads.items()}
         other.storage = self.storage.clone()
+        other._owned_tids = set(other.threads)
+        other._owns_storage = True
+        other._key_cache = None
+        other._threads_key = None
+        other._sorted_tids = self._sorted_tids
         return other
 
-    def key(self):
-        return (
-            tuple(t.key() for _, t in sorted(self.threads.items())),
-            self.storage.key(),
-        )
+    def _own_thread(self, tid: int) -> ThreadState:
+        """Return a privately owned (writable) copy of thread ``tid``.
+
+        Also drops the thread's memoised key: the caller is about to mutate
+        the thread or its instances, which the thread object cannot observe.
+        """
+        self._key_cache = None
+        self._threads_key = None
+        thread = self.threads[tid]
+        if tid not in self._owned_tids:
+            thread = thread.clone()
+            self.threads[tid] = thread
+            self._owned_tids.add(tid)
+        thread.invalidate_caches()
+        return thread
+
+    def _own_storage(self) -> StorageSubsystem:
+        """Return a privately owned (writable) storage subsystem."""
+        self._key_cache = None
+        if not self._owns_storage:
+            self.storage = self.storage.clone()
+            self._owns_storage = True
+        return self.storage
+
+    def key(self) -> CachedKey:
+        cached = self._key_cache
+        if cached is None:
+            threads_key = self._threads_key
+            if threads_key is None:
+                threads = self.threads
+                threads_key = tuple(
+                    [threads[tid].key() for tid in self._sorted_tids]
+                )
+                self._threads_key = threads_key
+            cached = CachedKey((threads_key, self.storage.key()))
+            self._key_cache = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Fetch
@@ -137,15 +222,20 @@ class SystemState:
 
     def _fetch_candidates(self, thread: ThreadState, instance) -> List[int]:
         """Possible next fetch addresses of an instance."""
+        nia = instance.nia
+        if nia is not None:
+            return [nia] if nia in self.program_memory else []
         fp = instance.static_fp
-        candidates: Set[int] = set()
-        if instance.nia is not None:
-            candidates.add(instance.nia)
-        else:
-            candidates.update(fp.nias)
+        if not fp.nias:
+            # Straight-line instruction: fall-through is the only candidate.
+            # (Indirect targets wait until the instance resolves its NIA.)
             if fp.nia_fallthrough:
-                candidates.add(instance.address + 4)
-            # Indirect targets wait until the instance resolves its NIA.
+                addr = instance.address + 4
+                return [addr] if addr in self.program_memory else []
+            return []
+        candidates: Set[int] = set(fp.nias)
+        if fp.nia_fallthrough:
+            candidates.add(instance.address + 4)
         return sorted(
             addr for addr in candidates if addr in self.program_memory
         )
@@ -183,33 +273,72 @@ class SystemState:
     # Eager closure
     # ------------------------------------------------------------------
 
-    def eager_closure(self) -> None:
-        """Take all deterministic thread-local steps to a fixpoint."""
-        progress = True
+    def eager_closure(self, dirty: Optional[Iterable[int]] = None) -> None:
+        """Take all deterministic thread-local steps to a fixpoint.
+
+        Eager steps are thread-local: whether an instance can progress
+        depends only on its own thread's state and on the storage
+        subsystem's set of acknowledged syncs.  A state produced by
+        ``apply`` therefore only needs to re-close the threads the
+        transition touched (``dirty``), plus any thread whose sync is
+        acknowledged during the closure -- every other thread was already at
+        its fixpoint in the parent state and nothing it depends on changed.
+        ``dirty=None`` (the initial closure) processes every thread.
+        """
+        #: tid -> smallest instance index still to process (0 = the whole
+        #: thread).  Instances are processed in creation (= program-order-
+        #: compatible) order and an instance's eager enablement depends only
+        #: on itself, its po-ancestors (lower indexes, processed earlier in
+        #: the same pass) and the acknowledged-sync set -- so after one full
+        #: pass only instances *fetched during the pass* can still step, and
+        #: after an acknowledgement only the sync's own thread can.
+        work: Dict[int, int] = {
+            tid: 0 for tid in (self.threads if dirty is None else dirty)
+        }
         iterations = 0
-        while progress:
-            progress = False
+        while True:
             iterations += 1
             if iterations > 10000:
                 raise ModelError("eager closure did not converge")
-            for tid in sorted(self.threads):
-                thread = self.threads[tid]
-                if self._fetch_root(thread):
+            next_work: Dict[int, int] = {}
+            for tid in sorted(work):
+                thread = self._own_thread(tid)
+                start = work[tid]
+                boundary = thread.next_index
+                progress = False
+                if start == 0 and self._fetch_root(thread):
                     progress = True
-                for ioid in sorted(thread.instances):
+                for ioid in thread.sorted_ioids():
+                    if ioid[1] < start:
+                        continue
                     instance = thread.instances.get(ioid)
                     if instance is None:
                         continue
                     if self._eager_step_instance(thread, instance):
                         progress = True
+                if progress and thread.next_index > boundary:
+                    next_work[tid] = boundary
             # Sync acknowledgements are purely enabling (no transition is
             # negatively sensitive to acked-ness), so take them eagerly.
+            # An acknowledgement can unblock finishes in the sync's thread.
             for bid in sorted(self.storage.unacknowledged_syncs):
                 if self.storage.can_acknowledge_sync(bid):
-                    self.storage.acknowledge_sync(bid)
-                    progress = True
+                    self._own_storage().acknowledge_sync(bid, checked=True)
+                    next_work[bid.tid] = 0
+            if not next_work:
+                return
+            work = next_work
 
     def _eager_step_instance(self, thread: ThreadState, instance) -> bool:
+        # Fast path: a finished instance with its (unique, resolved)
+        # successor already fetched -- or falling outside the program --
+        # can neither step nor fetch; re-closure passes skip it outright.
+        if instance.finished:
+            nia = instance.nia
+            if nia is not None and (
+                nia in instance.children or nia not in self.program_memory
+            ):
+                return False
         progress = False
         # Fetch successors speculatively (any time, at any tree leaf).
         if not self._pruned(thread, instance):
@@ -250,7 +379,7 @@ class SystemState:
     def _advance_plain(self, thread: ThreadState, instance) -> bool:
         """Take one deterministic Sail step; returns True on progress."""
         state = instance.mos[1]
-        outcome = self.model.interp.run_to_outcome(state)
+        outcome = self.model.run_to_outcome(state)
         if isinstance(outcome, DoneOutcome):
             instance.mos = (MOS_DONE,)
             if instance.nia is None:
@@ -261,7 +390,7 @@ class SystemState:
             reg_slice = outcome.slice
             if reg_slice.reg == "CIA":
                 value = Bits.from_int(instance.address, 64)
-                instance.mos = (MOS_PLAIN, resume(outcome.state, value))
+                instance.mos = (MOS_PLAIN, self.model.resume(outcome.state, value))
                 return True
             if reg_slice.reg == "NIA":
                 raise ModelError("pseudocode reads NIA")
@@ -278,7 +407,7 @@ class SystemState:
             instance.reg_reads = instance.reg_reads + (
                 RegReadRecord(reg_slice, value, sources),
             )
-            instance.mos = (MOS_PLAIN, resume(outcome.state, value))
+            instance.mos = (MOS_PLAIN, self.model.resume(outcome.state, value))
             return True
         if isinstance(outcome, WriteReg):
             if outcome.slice.reg == "NIA":
@@ -290,7 +419,7 @@ class SystemState:
                 instance.reg_writes = instance.reg_writes + (
                     RegWriteRecord(outcome.slice, outcome.value),
                 )
-            instance.mos = (MOS_PLAIN, resume(outcome.state, None))
+            instance.mos = (MOS_PLAIN, self.model.resume(outcome.state, None))
             return True
         if isinstance(outcome, ReadMem):
             if not outcome.addr.is_known:
@@ -318,11 +447,11 @@ class SystemState:
                 return True
             units = self._split_write(instance, addr, outcome.size, outcome.value)
             instance.mem_writes = instance.mem_writes + units
-            instance.mos = (MOS_PLAIN, resume(outcome.state, None))
+            instance.mos = (MOS_PLAIN, self.model.resume(outcome.state, None))
             return True
         if isinstance(outcome, BarrierOutcome):
             instance.barrier_kind = outcome.kind
-            instance.mos = (MOS_PLAIN, resume(outcome.state, None))
+            instance.mos = (MOS_PLAIN, self.model.resume(outcome.state, None))
             return True
         raise ModelError(f"unexpected outcome {outcome!r}")
 
@@ -369,7 +498,8 @@ class SystemState:
         if not sources:
             return
         fp = self.model.footprint(
-            resume(pending_state, Bits.unknown(width)), cia=instance.address
+            self.model.resume(pending_state, Bits.unknown(width)),
+            cia=instance.address,
         )
         if fp.is_memory_access and not fp.memory_determined:
             merged = set(instance.addr_sources)
@@ -388,17 +518,25 @@ class SystemState:
         instance.reg_reads = instance.reg_reads + (
             RegReadRecord(reg_slice, value, sources),
         )
-        instance.mos = (MOS_PLAIN, resume(pending, value))
+        instance.mos = (MOS_PLAIN, self.model.resume(pending, value))
         return True
 
     def _prune_untaken(self, thread: ThreadState, instance) -> None:
         """Discard speculative children not matching a resolved NIA."""
         if instance.nia is None:
             return
-        for address, child in list(instance.children.items()):
-            if address != instance.nia:
+        kept: Dict[int, Ioid] = {}
+        pruned = False
+        for address, child in instance.children.items():
+            if address == instance.nia:
+                kept[address] = child
+            else:
                 thread.prune_subtree(child)
-                del instance.children[address]
+                pruned = True
+        if pruned:
+            # Replace rather than mutate: the dict may be shared with COW
+            # clones and the assignment invalidates the memoised key.
+            instance.children = kept
 
     # ------------------------------------------------------------------
     # Commit / finish conditions
@@ -704,51 +842,109 @@ class SystemState:
     # ------------------------------------------------------------------
 
     def enumerate_transitions(self) -> List[Transition]:
+        """All enabled transitions, in a deterministic order.
+
+        Assembled from two memoised halves: each thread's options (cached on
+        the thread object against the storage-side context it depends on)
+        and the storage-side options (cached on the storage object, whose
+        state they are a pure function of).  COW sharing makes both caches
+        effective: a transition that only touches one thread reuses every
+        other thread's options and -- if it left storage alone -- the whole
+        storage half.
+        """
         transitions: List[Transition] = []
-        for tid in sorted(self.threads):
-            thread = self.threads[tid]
-            for ioid in sorted(thread.instances):
-                instance = thread.instances[ioid]
-                tag = instance.mos[0]
-                if tag == MOS_PENDING_READ:
-                    transitions.extend(
-                        self._read_satisfaction_options(thread, instance)
+        threads = self.threads
+        for tid in self._sorted_tids:
+            transitions.extend(self._thread_transitions(threads[tid]))
+        storage = self.storage
+        cached = storage._transitions_cache
+        if cached is None:
+            cached = self._storage_transitions()
+            storage._transitions_cache = cached
+        transitions.extend(cached)
+        return transitions
+
+    def _thread_transitions(self, thread: ThreadState) -> List[Transition]:
+        """One thread's enabled transitions (memoised on the thread).
+
+        The options depend on the thread's own state plus two storage-side
+        inputs: the sync-acknowledgement state (barrier conditions) and the
+        writes propagated to this thread (store-conditional resolution).
+        Both are captured as the cache context and validated on reuse.
+        """
+        storage = self.storage
+        cached = thread._trans_cache
+        if cached is not None and cached[0] is storage:
+            # Same storage object => storage untouched since the cache was
+            # written (mutation always clones first), so reuse outright.
+            return cached[3]
+        syncs_ctx = storage.syncs_key()
+        writes_ctx = storage.writes_propagated_to(thread.tid)
+        if cached is not None:
+            _, syncs, writes, options = cached
+            if writes is writes_ctx and (
+                syncs is syncs_ctx or syncs == syncs_ctx
+            ):
+                return options
+        options: List[Transition] = []
+        for ioid in thread.sorted_ioids():
+            instance = thread.instances[ioid]
+            tag = instance.mos[0]
+            if tag == MOS_PENDING_READ:
+                options.extend(
+                    self._read_satisfaction_options(thread, instance)
+                )
+            elif tag == MOS_PENDING_SC:
+                options.extend(self._sc_options(thread, instance))
+            elif (
+                tag == MOS_DONE
+                and instance.mem_writes
+                and not instance.writes_committed
+                and self._can_commit_store(thread, instance)
+            ):
+                options.append(
+                    Transition(
+                        kind="commit_store",
+                        tid=thread.tid,
+                        ioid=ioid,
+                        label=f"{ioid} commit store to storage",
                     )
-                elif tag == MOS_PENDING_SC:
-                    transitions.extend(
-                        self._sc_options(thread, instance)
+                )
+            if (
+                instance.is_storage_barrier
+                and not instance.barrier_committed
+                and self._can_commit_barrier(thread, instance)
+            ):
+                options.append(
+                    Transition(
+                        kind="commit_barrier",
+                        tid=thread.tid,
+                        ioid=ioid,
+                        label=f"{ioid} commit {instance.barrier_kind} barrier",
                     )
-                elif (
-                    tag == MOS_DONE
-                    and instance.mem_writes
-                    and not instance.writes_committed
-                    and self._can_commit_store(thread, instance)
-                ):
-                    transitions.append(
-                        Transition(
-                            kind="commit_store",
-                            tid=tid,
-                            ioid=ioid,
-                            label=f"{ioid} commit store to storage",
-                        )
-                    )
-                if (
-                    instance.is_storage_barrier
-                    and not instance.barrier_committed
-                    and self._can_commit_barrier(thread, instance)
-                ):
-                    transitions.append(
-                        Transition(
-                            kind="commit_barrier",
-                            tid=tid,
-                            ioid=ioid,
-                            label=f"{ioid} commit {instance.barrier_kind} barrier",
-                        )
-                    )
-        for wid in sorted(self.storage.writes_seen):
-            for tid in self.storage.threads:
-                if self.storage.can_propagate_write(wid, tid):
-                    write = self.storage.writes_seen[wid]
+                )
+        thread._trans_cache = (storage, syncs_ctx, writes_ctx, options)
+        return options
+
+    def _storage_transitions(self) -> List[Transition]:
+        """The storage subsystem's enabled transitions (pure in storage)."""
+        storage = self.storage
+        transitions: List[Transition] = []
+        events_pos = storage._events_pos
+        writes_seen = storage.writes_seen
+        for wid in storage.sorted_wids():
+            write = writes_seen[wid]
+            origin = write.tid
+            event = ("w", wid)
+            origin_pos = events_pos.get(origin)
+            if origin_pos is None or event not in origin_pos:
+                continue  # initial write, or not committed by its thread
+            for tid in storage.threads:
+                # Inlined cheap rejections (already propagated / own thread)
+                # before the full precondition check.
+                if tid == origin or event in events_pos[tid]:
+                    continue
+                if storage.can_propagate_write(wid, tid):
                     transitions.append(
                         Transition(
                             kind="propagate_write",
@@ -760,10 +956,10 @@ class SystemState:
                             ),
                         )
                     )
-        for bid in sorted(self.storage.barriers_seen):
-            for tid in self.storage.threads:
-                if self.storage.can_propagate_barrier(bid, tid):
-                    barrier = self.storage.barriers_seen[bid]
+        for bid in storage.sorted_bids():
+            for tid in storage.threads:
+                if storage.can_propagate_barrier(bid, tid):
+                    barrier = storage.barriers_seen[bid]
                     transitions.append(
                         Transition(
                             kind="propagate_barrier",
@@ -772,8 +968,8 @@ class SystemState:
                             label=f"propagate {barrier} to thread {tid}",
                         )
                     )
-        for bid in sorted(self.storage.unacknowledged_syncs):
-            if self.storage.can_acknowledge_sync(bid):
+        for bid in sorted(storage.unacknowledged_syncs):
+            if storage.can_acknowledge_sync(bid):
                 transitions.append(
                     Transition(
                         kind="ack_sync",
@@ -781,9 +977,12 @@ class SystemState:
                         label=f"acknowledge sync {bid}",
                     )
                 )
-        for wid in sorted(self.storage.writes_seen):
-            if self.storage.can_reach_coherence_point(wid):
-                write = self.storage.writes_seen[wid]
+        coherence_points = storage.coherence_points
+        for wid in storage.sorted_wids():
+            if wid in coherence_points:
+                continue
+            if storage.can_reach_coherence_point(wid):
+                write = writes_seen[wid]
                 transitions.append(
                     Transition(
                         kind="reach_coherence_point",
@@ -854,8 +1053,33 @@ class SystemState:
         state = self.clone()
         state._apply_in_place(transition)
         if state.params.eager:
-            state.eager_closure()
+            dirty = state._dirty_threads(transition)
+            # With no dirtied thread and no pending sync acknowledgements
+            # the closure is a provable no-op; skip its scaffolding.
+            if dirty or state.storage.unacknowledged_syncs:
+                state.eager_closure(dirty)
         return state
+
+    def _dirty_threads(self, transition: Transition) -> Tuple[int, ...]:
+        """Threads whose eager fixpoint the transition may have disturbed.
+
+        Propagation and coherence-point transitions change only storage-side
+        state that no eager (thread-local) step reads; the sync
+        acknowledgements they may enable are re-checked by the closure
+        itself, which then dirties the acknowledged sync's thread.
+        """
+        kind = transition.kind
+        if kind in (
+            "satisfy_read_storage",
+            "satisfy_read_forward",
+            "commit_store",
+            "resolve_sc",
+            "commit_barrier",
+        ):
+            return (transition.tid,)
+        if kind == "ack_sync":
+            return (transition.detail[0].tid,)
+        return ()
 
     def _apply_in_place(self, transition: Transition) -> None:
         kind = transition.kind
@@ -872,22 +1096,30 @@ class SystemState:
         elif kind == "propagate_write":
             self._do_propagate_write(transition)
         elif kind == "propagate_barrier":
-            self.storage.propagate_barrier(transition.detail[0], transition.tid)
+            # checked=True: the transition was enumerated from a state with
+            # identical storage, so its precondition has already been tested.
+            self._own_storage().propagate_barrier(
+                transition.detail[0], transition.tid, checked=True
+            )
         elif kind == "ack_sync":
-            self.storage.acknowledge_sync(transition.detail[0])
+            self._own_storage().acknowledge_sync(
+                transition.detail[0], checked=True
+            )
         elif kind == "reach_coherence_point":
-            self.storage.reach_coherence_point(transition.detail[0])
+            self._own_storage().reach_coherence_point(
+                transition.detail[0], checked=True
+            )
         else:
             raise ModelError(f"unknown transition {kind}")
 
     def _do_satisfy_from_storage(self, transition: Transition) -> None:
-        thread = self.threads[transition.tid]
+        thread = self._own_thread(transition.tid)
         instance = thread.instances[transition.ioid]
         _, kind, addr, size, pending = instance.mos
         value, provenance = self.storage.read_response(thread.tid, addr, size)
         record = MemReadRecord(addr, size, value, kind, provenance, None)
         instance.mem_reads = instance.mem_reads + (record,)
-        instance.mos = (MOS_PLAIN, resume(pending, value))
+        instance.mos = (MOS_PLAIN, self.model.resume(pending, value))
         if kind == "reserve":
             # Reserve on the coherence-latest covering write.
             last_wid = provenance[-1][0] if provenance else None
@@ -895,7 +1127,7 @@ class SystemState:
         self._coherence_restart_check(thread, instance, record)
 
     def _do_satisfy_by_forwarding(self, transition: Transition) -> None:
-        thread = self.threads[transition.tid]
+        thread = self._own_thread(transition.tid)
         instance = thread.instances[transition.ioid]
         source_ioid, wid = transition.detail
         source = thread.instances[source_ioid]
@@ -904,22 +1136,23 @@ class SystemState:
         value = write.extract(addr, size)
         record = MemReadRecord(addr, size, value, kind, (), source_ioid)
         instance.mem_reads = instance.mem_reads + (record,)
-        instance.mos = (MOS_PLAIN, resume(pending, value))
+        instance.mos = (MOS_PLAIN, self.model.resume(pending, value))
         if kind == "reserve":
             thread.reservation = (addr, size, wid, instance.ioid)
 
     def _do_commit_store(self, transition: Transition) -> None:
-        thread = self.threads[transition.tid]
+        thread = self._own_thread(transition.tid)
         instance = thread.instances[transition.ioid]
+        storage = self._own_storage()
         for write in instance.mem_writes:
-            self.storage.accept_write(write)
-            self._invalidate_reservations(write, accepting_tid=thread.tid)
+            storage.accept_write(write)
+            self._invalidate_reservation(thread, write)
         instance.writes_committed = True
         if self._can_finish(thread, instance):
             self._do_finish(thread, instance)
 
     def _do_resolve_sc(self, transition: Transition) -> None:
-        thread = self.threads[transition.tid]
+        thread = self._own_thread(transition.tid)
         instance = thread.instances[transition.ioid]
         success = transition.detail[0]
         _, addr, size, value, pending = instance.mos
@@ -935,48 +1168,48 @@ class SystemState:
                 is_conditional=True,
             )
             instance.mem_writes = (write,)
-            self.storage.accept_write(write)
-            self._invalidate_reservations(write, accepting_tid=thread.tid)
+            storage = self._own_storage()
+            storage.accept_write(write)
+            self._invalidate_reservation(thread, write)
             instance.writes_committed = True
             if reservation is not None and reservation[2] is not None:
-                self.storage.atomic_pairs.add((reservation[2], write.wid))
-        instance.mos = (MOS_PLAIN, resume(pending, TRUE if success else FALSE))
+                storage.record_atomic_pair(reservation[2], write.wid)
+        instance.mos = (MOS_PLAIN, self.model.resume(pending, TRUE if success else FALSE))
 
-    def _invalidate_reservations(self, write: Write, accepting_tid: int) -> None:
-        """A store to a reserved granule clears other threads' reservations
-        once visible; the accepting thread's own reservation clears unless
-        the write *is* its conditional store (handled by the caller)."""
-        for tid, thread in self.threads.items():
-            if thread.reservation is None:
-                continue
-            res_addr, res_size, _, _ = thread.reservation
-            if not write.overlaps(res_addr, res_size):
-                continue
-            if tid == accepting_tid:
-                thread.reservation = None
+    def _invalidate_reservation(self, thread: ThreadState, write: Write) -> None:
+        """A store clears its own thread's reservation on acceptance (other
+        threads' reservations clear when the write *propagates* to them,
+        in ``_do_propagate_write``), unless the write is the reservation's
+        own conditional store (handled by the caller)."""
+        if thread.reservation is None:
+            return
+        res_addr, res_size, _, _ = thread.reservation
+        if write.overlaps(res_addr, res_size):
+            thread.reservation = None
 
     def _do_commit_barrier(self, transition: Transition) -> None:
-        thread = self.threads[transition.tid]
+        thread = self._own_thread(transition.tid)
         instance = thread.instances[transition.ioid]
         event = BarrierEvent(
             BarrierId(instance.tid, instance.ioid), instance.barrier_kind
         )
-        self.storage.accept_barrier(event)
+        self._own_storage().accept_barrier(event)
         instance.barrier_committed = True
         if self._can_finish(thread, instance):
             self._do_finish(thread, instance)
 
     def _do_propagate_write(self, transition: Transition) -> None:
         wid = transition.detail[0]
-        self.storage.propagate_write(wid, transition.tid)
+        self._own_storage().propagate_write(wid, transition.tid, checked=True)
         write = self.storage.writes_seen[wid]
         # A write becoming visible to a reserving thread clears its
-        # reservation (another processor stored to the granule).
+        # reservation (another processor stored to the granule).  Check on
+        # the shared thread first so COW only copies it when it changes.
         target_thread = self.threads[transition.tid]
         if target_thread.reservation is not None:
             res_addr, res_size, _, _ = target_thread.reservation
             if write.overlaps(res_addr, res_size):
-                target_thread.reservation = None
+                self._own_thread(transition.tid).reservation = None
 
     # ------------------------------------------------------------------
     # Finality
@@ -985,17 +1218,29 @@ class SystemState:
     def threads_finished(self) -> bool:
         """All instructions of all threads fetched and finished."""
         for thread in self.threads.values():
-            if thread.root is None:
-                entry = thread.initial_fetch_address
-                if entry is not None and entry in self.program_memory:
+            finished = thread._finished_cache
+            if finished is None:
+                finished = self._thread_finished(thread)
+                thread._finished_cache = finished
+            if not finished:
+                return False
+        return True
+
+    def _thread_finished(self, thread: ThreadState) -> bool:
+        """All of one thread's instructions fetched and finished.
+
+        A pure function of the thread's state (program memory is fixed),
+        memoised on the thread object in ``threads_finished``.
+        """
+        if thread.root is None:
+            entry = thread.initial_fetch_address
+            return entry is None or entry not in self.program_memory
+        for instance in thread.instances.values():
+            if not instance.finished:
+                return False
+            for address in self._fetch_candidates(thread, instance):
+                if address not in instance.children:
                     return False
-                continue
-            for instance in thread.instances.values():
-                if not instance.finished:
-                    return False
-                for address in self._fetch_candidates(thread, instance):
-                    if address not in instance.children:
-                        return False
         return True
 
     def is_final(self) -> bool:

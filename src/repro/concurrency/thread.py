@@ -37,6 +37,7 @@ from ..sail.interp import InterpState, resume
 from ..sail.outcomes import RegSlice
 from ..sail.values import Bits
 from .events import Write, WriteId
+from .keys import CachedKey, intern_key
 from .params import ModelParams
 
 Ioid = Tuple[int, int]  # (tid, per-thread index)
@@ -80,7 +81,12 @@ class MemReadRecord:
 
 
 class InstructionInstance:
-    """One (possibly speculative, possibly partially executed) instruction."""
+    """One (possibly speculative, possibly partially executed) instruction.
+
+    Attribute writes invalidate the instance's memoised ``key()`` (see
+    ``__setattr__``); ``children`` is therefore always *replaced*, never
+    mutated in place, by the code that grows or prunes the tree.
+    """
 
     __slots__ = (
         "ioid",
@@ -103,6 +109,7 @@ class InstructionInstance:
         "prev",
         "children",
         "addr_sources",
+        "_key_cache",
     )
 
     def __init__(
@@ -140,35 +147,69 @@ class InstructionInstance:
 
     # ------------------------------------------------------------------
 
+    def __setattr__(self, name, value):
+        # Every mutation drops the memoised key; ``key()`` itself stores the
+        # cache through object.__setattr__ to avoid self-invalidation.
+        object.__setattr__(self, name, value)
+        object.__setattr__(self, "_key_cache", None)
+
     def clone(self) -> "InstructionInstance":
         other = InstructionInstance.__new__(InstructionInstance)
-        for name in InstructionInstance.__slots__:
-            value = getattr(self, name)
-            if name == "children":
-                value = dict(value)
-            setattr(other, name, value)
+        put = object.__setattr__
+        put(other, "ioid", self.ioid)
+        put(other, "tid", self.tid)
+        put(other, "address", self.address)
+        put(other, "instruction", self.instruction)
+        put(other, "static_fp", self.static_fp)
+        put(other, "mos", self.mos)
+        put(other, "reg_reads", self.reg_reads)
+        put(other, "reg_writes", self.reg_writes)
+        put(other, "mem_reads", self.mem_reads)
+        put(other, "mem_writes", self.mem_writes)
+        put(other, "writes_committed", self.writes_committed)
+        put(other, "sc_resolved", self.sc_resolved)
+        put(other, "barrier_kind", self.barrier_kind)
+        put(other, "barrier_committed", self.barrier_committed)
+        put(other, "nia", self.nia)
+        put(other, "finished", self.finished)
+        put(other, "restarts", self.restarts)
+        put(other, "prev", self.prev)
+        put(other, "children", self.children)
+        put(other, "addr_sources", self.addr_sources)
+        # The clone starts bit-identical, so it shares the memoised key
+        # object: unchanged instances compare key-equal by identity across
+        # the whole chain of COW descendants.
+        put(other, "_key_cache", self._key_cache)
         return other
 
-    def key(self):
-        return (
-            self.ioid,
-            self.address,
-            self.instruction.word,
-            self._mos_key(),
-            self.reg_reads,
-            self.reg_writes,
-            self.mem_reads,
-            self.mem_writes,
-            self.writes_committed,
-            self.sc_resolved,
-            self.barrier_kind,
-            self.barrier_committed,
-            self.nia,
-            self.finished,
-            self.prev,
-            tuple(sorted(self.children.items())),
-            self.addr_sources,
-        )
+    def key(self) -> CachedKey:
+        cached = self._key_cache
+        if cached is None:
+            value = (
+                self.ioid,
+                self.address,
+                self.instruction.word,
+                self._mos_key(),
+                self.reg_reads,
+                self.reg_writes,
+                self.mem_reads,
+                self.mem_writes,
+                self.writes_committed,
+                self.sc_resolved,
+                self.barrier_kind,
+                self.barrier_committed,
+                self.nia,
+                self.finished,
+                self.prev,
+                tuple(sorted(self.children.items())),
+                self.addr_sources,
+            )
+            # Finished instances are immutable from here on and heavily
+            # shared between converging interleavings: intern their keys so
+            # equal keys compare by identity.
+            cached = intern_key(value) if self.finished else CachedKey(value)
+            object.__setattr__(self, "_key_cache", cached)
+        return cached
 
     def _mos_key(self):
         return self.mos
@@ -213,23 +254,30 @@ class InstructionInstance:
     # Dynamic footprints
     # ------------------------------------------------------------------
 
-    def remaining_state(self) -> Optional[InterpState]:
-        """An interpreter state covering the instruction's remaining work."""
+    def remaining_state(
+        self, model: Optional[IsaModel] = None
+    ) -> Optional[InterpState]:
+        """An interpreter state covering the instruction's remaining work.
+
+        When ``model`` is given its resume memo is used, so repeated calls
+        along different interleavings share the resulting state object.
+        """
+        do_resume = resume if model is None else model.resume
         tag = self.mos[0]
         if tag == MOS_PLAIN:
             return self.mos[1]
         if tag == MOS_BLOCKED_REG:
             reg_slice, pending = self.mos[1], self.mos[2]
-            return resume(pending, Bits.unknown(reg_slice.width))
+            return do_resume(pending, Bits.unknown(reg_slice.width))
         if tag == MOS_PENDING_READ:
             _, _, _, size, pending = self.mos
-            return resume(pending, Bits.unknown(8 * size))
+            return do_resume(pending, Bits.unknown(8 * size))
         if tag == MOS_PENDING_SC:
-            return resume(self.mos[4], Bits.unknown(1))
+            return do_resume(self.mos[4], Bits.unknown(1))
         return None
 
     def remaining_footprint(self, model: IsaModel) -> Optional[Footprint]:
-        state = self.remaining_state()
+        state = self.remaining_state(model)
         if state is None:
             return None
         return model.footprint(state, cia=self.address)
@@ -312,7 +360,37 @@ def _coarsen(reg_slice: RegSlice, granularity: str) -> RegSlice:
 
 
 class ThreadState:
-    """One hardware thread: instruction tree + initial register values."""
+    """One hardware thread: instruction tree + initial register values.
+
+    ``key()`` is memoised; direct attribute writes invalidate it (see
+    ``__setattr__``), and the system state's ``_own_thread`` drops it before
+    any mutation of the thread's instances, which this object cannot see.
+    """
+
+    __slots__ = (
+        "tid",
+        "initial_registers",
+        "instances",
+        "root",
+        "next_index",
+        "reservation",
+        "initial_fetch_address",
+        "_key_cache",
+        "_trans_cache",
+        "_finished_cache",
+        "_sorted_ioids",
+    )
+
+    #: Derived-value slots dropped together on any mutation: the memoised
+    #: key, the enumerated transition options (with their storage-side
+    #: context), the all-instructions-finished verdict, and the sorted
+    #: instance-id list.
+    _CACHE_SLOTS = (
+        "_key_cache",
+        "_trans_cache",
+        "_finished_cache",
+        "_sorted_ioids",
+    )
 
     def __init__(self, tid: int, initial_registers: Dict[str, Bits]):
         self.tid = tid
@@ -326,25 +404,65 @@ class ThreadState:
 
     # ------------------------------------------------------------------
 
+    def __setattr__(self, name, value):
+        object.__setattr__(self, name, value)
+        if name not in ThreadState._CACHE_SLOTS:
+            object.__setattr__(self, "_key_cache", None)
+            object.__setattr__(self, "_trans_cache", None)
+            object.__setattr__(self, "_finished_cache", None)
+            object.__setattr__(self, "_sorted_ioids", None)
+
     def clone(self) -> "ThreadState":
         other = ThreadState.__new__(ThreadState)
-        other.tid = self.tid
-        other.initial_registers = self.initial_registers  # immutable use
-        other.instances = {
+        put = object.__setattr__
+        put(other, "tid", self.tid)
+        put(other, "initial_registers", self.initial_registers)  # immutable
+        put(other, "instances", {
             ioid: inst.clone() for ioid, inst in self.instances.items()
-        }
-        other.root = self.root
-        other.next_index = self.next_index
-        other.reservation = self.reservation
-        other.initial_fetch_address = self.initial_fetch_address
+        })
+        put(other, "root", self.root)
+        put(other, "next_index", self.next_index)
+        put(other, "reservation", self.reservation)
+        put(other, "initial_fetch_address", self.initial_fetch_address)
+        put(other, "_key_cache", None)
+        put(other, "_trans_cache", None)
+        put(other, "_finished_cache", None)
+        put(other, "_sorted_ioids", self._sorted_ioids)
         return other
 
-    def key(self):
-        return (
-            self.tid,
-            tuple(inst.key() for _, inst in sorted(self.instances.items())),
-            self.reservation,
-        )
+    def invalidate_caches(self) -> None:
+        """Drop derived values: the caller is about to mutate an instance."""
+        put = object.__setattr__
+        put(self, "_key_cache", None)
+        put(self, "_trans_cache", None)
+        put(self, "_finished_cache", None)
+
+    def sorted_ioids(self) -> List[Ioid]:
+        """Sorted instance ids (cached; do not mutate the returned list).
+
+        Invalidated whenever the instance *set* changes (``new_instance``,
+        ``prune_subtree``); instance mutations do not affect it, so
+        ``invalidate_caches`` leaves it alone.
+        """
+        cached = self._sorted_ioids
+        if cached is None:
+            cached = sorted(self.instances)
+            object.__setattr__(self, "_sorted_ioids", cached)
+        return cached
+
+    def key(self) -> CachedKey:
+        cached = self._key_cache
+        if cached is None:
+            instances = self.instances
+            cached = CachedKey((
+                self.tid,
+                tuple(
+                    [instances[ioid].key() for ioid in self.sorted_ioids()]
+                ),
+                self.reservation,
+            ))
+            object.__setattr__(self, "_key_cache", cached)
+        return cached
 
     # ------------------------------------------------------------------
     # Tree navigation
@@ -390,11 +508,16 @@ class ThreadState:
         if prev is None:
             self.root = ioid
         else:
-            self.instances[prev].children[address] = ioid
+            parent = self.instances[prev]
+            # Replace rather than mutate: children dicts are shared between
+            # COW clones and their assignment invalidates the parent's key.
+            parent.children = {**parent.children, address: ioid}
         return instance
 
     def prune_subtree(self, ioid: Ioid) -> None:
         """Discard a speculative subtree (un-taken branch path)."""
+        self.invalidate_caches()
+        object.__setattr__(self, "_sorted_ioids", None)
         instance = self.instances.pop(ioid, None)
         if instance is None:
             return

@@ -16,7 +16,7 @@ from typing import Dict, Optional, Tuple
 
 from ..sail.analysis import Footprint, FootprintAnalysis
 from ..sail.ast import FunctionClause
-from ..sail.interp import Interp, InterpState, initial_state
+from ..sail.interp import Interp, InterpState, initial_state, resume
 from ..sail.parser import parse_execute_clause
 from .defs import ALL_SPECS
 from .registers import Registry, power_registry
@@ -74,6 +74,8 @@ class IsaModel:
         self._clauses: Dict[str, FunctionClause] = {}
         self._decode_cache: Dict[int, Optional[DecodedInstruction]] = {}
         self._initial_cache: Dict[int, InterpState] = {}
+        self._outcome_cache: Dict[InterpState, object] = {}
+        self._resume_cache: Dict[Tuple, InterpState] = {}
         for spec in self.table.all_specs():
             clause = parse_execute_clause(spec.pseudocode, self._view)
             if clause.ast_name != spec.name:
@@ -130,6 +132,41 @@ class IsaModel:
         state = initial_state(clause.body, fields)
         self._initial_cache[instruction.word] = state
         return state
+
+    def run_to_outcome(self, state: InterpState):
+        """Run ``state`` to its next externally visible outcome, memoised.
+
+        ``run_to_outcome`` is a pure function of an immutable state, and the
+        exhaustive explorer re-executes identical instruction states along
+        every interleaving, so the concurrency model's deterministic Sail
+        stepping is served from this (bounded) cache.
+        """
+        cache = self._outcome_cache
+        outcome = cache.get(state)
+        if outcome is None:
+            if len(cache) >= 65536:
+                cache.clear()
+            outcome = self.interp.run_to_outcome(state)
+            cache[state] = outcome
+        return outcome
+
+    def resume(self, state: InterpState, value) -> InterpState:
+        """Resume a pending interpreter state with a value, memoised.
+
+        ``resume`` is pure, and the explorer resumes identical pending
+        states with identical values along every interleaving; returning
+        the *same* state object each time also makes the downstream
+        ``run_to_outcome`` memo and state-key hashing hit by identity.
+        """
+        cache = self._resume_cache
+        key = (state, value)
+        resumed = cache.get(key)
+        if resumed is None:
+            if len(cache) >= 65536:
+                cache.clear()
+            resumed = resume(state, value)
+            cache[key] = resumed
+        return resumed
 
     # ------------------------------------------------------------------
     # Footprints

@@ -148,7 +148,7 @@ def run_litmus(
         (addresses[var], cell_size)
         for var in sorted(set(condition_locations(test.condition)))
     ]
-    result = explore(system, memory_cells=cells)
+    result = explore(system, memory_cells=cells, max_states=max_states)
 
     witnessed = False
     holds_always = bool(result.outcomes)
@@ -173,3 +173,33 @@ def run_litmus(
         exploration=result,
         addresses=addresses,
     )
+
+
+def run_corpus(
+    entries=None,
+    jobs: Optional[int] = None,
+    params: ModelParams = DEFAULT_PARAMS,
+    max_states: Optional[int] = None,
+):
+    """Exhaustively run a corpus of litmus tests across worker processes.
+
+    ``entries`` may hold ``CorpusEntry``-like objects (anything with
+    ``name``/``source`` attributes) or plain ``(name, source)`` pairs;
+    ``None`` runs the built-in corpus.  Tests are sharded per test across
+    ``jobs`` workers (default: CPU count); returns a
+    ``repro.concurrency.parallel.CorpusReport`` with per-test verdicts and
+    merged ``ExplorationStats``.
+    """
+    from ..concurrency.parallel import explore_corpus
+
+    if entries is None:
+        from .library import corpus
+
+        entries = corpus()
+    items = []
+    for entry in entries:
+        if isinstance(entry, tuple):
+            items.append(entry)
+        else:
+            items.append((entry.name, entry.source))
+    return explore_corpus(items, jobs=jobs, params=params, max_states=max_states)

@@ -103,19 +103,24 @@ class LiftedBranch(Exception):
 class InterpState:
     """An immutable interpreter state (control, environment, continuation)."""
 
-    __slots__ = ("control", "env", "kont", "_hash")
+    __slots__ = ("control", "env", "kont", "_hash", "_key_tuple")
 
     def __init__(self, control, env: Dict[str, Value], kont):
         object.__setattr__(self, "control", control)
         object.__setattr__(self, "env", env)
         object.__setattr__(self, "kont", kont)
         object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_key_tuple", None)
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("InterpState is immutable")
 
     def _key(self):
-        return (self.control, tuple(sorted(self.env.items())), self.kont)
+        cached = self._key_tuple
+        if cached is None:
+            cached = (self.control, tuple(sorted(self.env.items())), self.kont)
+            object.__setattr__(self, "_key_tuple", cached)
+        return cached
 
     def __hash__(self):
         cached = self._hash

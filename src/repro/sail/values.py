@@ -69,6 +69,27 @@ class Bits:
         ):
             raise SailValueError("overlapping bit classification masks")
 
+    # Hand-written hash/eq (the dataclass machinery leaves explicitly
+    # defined ones alone): values are hashed millions of times by the
+    # exploration memo tables, so the hash -- identical in value to the
+    # generated field-tuple hash -- is computed once per object.
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.width, self.ones, self.undefs, self.unknowns))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __eq__(self, other):
+        if other.__class__ is Bits:
+            return (
+                self.width == other.width
+                and self.ones == other.ones
+                and self.undefs == other.undefs
+                and self.unknowns == other.unknowns
+            )
+        return NotImplemented
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

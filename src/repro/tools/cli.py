@@ -4,7 +4,8 @@ Modes:
 
   * ``ppcmem2 run TEST.litmus``          -- exhaustive oracle run
   * ``ppcmem2 interactive TEST.litmus``  -- step through transitions
-  * ``ppcmem2 corpus``                   -- run the built-in corpus
+  * ``ppcmem2 corpus [--jobs N]``        -- run the built-in corpus
+  * ``ppcmem2 litmus [...] --jobs N``    -- run a litmus corpus in parallel
   * ``ppcmem2 elf BINARY``               -- sequential execution of an ELF
 
 The interactive mode shows Fig. 3-style system states: storage subsystem
@@ -41,7 +42,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     inter_parser.add_argument("test", help="path to a .litmus file")
 
-    sub.add_parser("corpus", help="run the built-in litmus corpus")
+    corpus_parser = sub.add_parser(
+        "corpus", help="run the built-in litmus corpus"
+    )
+    corpus_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="number of worker processes (default 1: run in-process)",
+    )
+
+    litmus_parser = sub.add_parser(
+        "litmus",
+        help="run a corpus of litmus tests across worker processes",
+    )
+    litmus_parser.add_argument(
+        "tests", nargs="*", help="paths to .litmus files (default: built-in corpus)"
+    )
+    litmus_parser.add_argument(
+        "--corpus",
+        action="store_true",
+        help="include the built-in corpus in addition to any files",
+    )
+    litmus_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="number of worker processes (default: CPU count)",
+    )
+    litmus_parser.add_argument(
+        "--max-states", type=int, default=None, help="state budget per test"
+    )
 
     elf_parser = sub.add_parser("elf", help="run an ELF binary sequentially")
     elf_parser.add_argument("binary", help="path to a Power64 ELF executable")
@@ -55,7 +86,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "interactive":
         return _cmd_interactive(args.test)
     if args.command == "corpus":
-        return _cmd_corpus()
+        return _cmd_corpus(args.jobs)
+    if args.command == "litmus":
+        return _cmd_litmus(args.tests, args.corpus, args.jobs, args.max_states)
     if args.command == "elf":
         return _cmd_elf(args.binary, args.max_instructions)
     return 2
@@ -113,12 +146,22 @@ def _cmd_interactive(path: str) -> int:
         step += 1
 
 
-def _cmd_corpus() -> int:
-    model = default_model()
+def _cmd_corpus(jobs: int = 1) -> int:
+    entries = corpus()
     sound = True
-    for entry in corpus():
-        result = run_litmus(entry.parse(), model)
-        status = result.status
+    if jobs != 1:
+        from ..litmus.runner import run_corpus
+
+        report = run_corpus(entries, jobs=jobs)
+        statuses = {r.name: r.status for r in report.results}
+    else:
+        model = default_model()
+        statuses = {
+            entry.name: run_litmus(entry.parse(), model).status
+            for entry in entries
+        }
+    for entry in entries:
+        status = statuses[entry.name]
         ok = status == entry.architected
         sound = sound and ok
         print(
@@ -128,6 +171,49 @@ def _cmd_corpus() -> int:
             f"{'ok' if ok else 'MISMATCH'}"
         )
     return 0 if sound else 1
+
+
+def _cmd_litmus(paths, include_corpus: bool, jobs, max_states) -> int:
+    from ..litmus.runner import run_corpus
+
+    entries = []
+    for path in paths:
+        with open(path) as handle:
+            source = handle.read()
+        test = parse_litmus(source)
+        entries.append((test.name, source))
+    if include_corpus or not entries:
+        entries.extend(corpus())
+    report = run_corpus(entries, jobs=jobs, max_states=max_states)
+    exhausted = 0
+    for result in report.results:
+        stats = result.stats
+        print(
+            f"{result.name:28s} {result.status:10s} "
+            f"states={stats.states_visited:6d} "
+            f"outcomes={len(result.outcomes):4d} "
+            f"time={stats.seconds:.2f}s"
+        )
+        if result.error:
+            exhausted += 1
+            print(f"  !! {result.error}")
+    merged = report.merged_stats()
+    print(
+        f"Corpus: {len(report.results)} tests across {report.jobs} "
+        f"worker(s) in {report.wall_seconds:.2f}s wall "
+        f"({merged.seconds:.2f}s exploration)"
+    )
+    rate = merged.transitions_taken / merged.seconds if merged.seconds else 0
+    print(
+        f"Merged stats: states={merged.states_visited} "
+        f"transitions={merged.transitions_taken} "
+        f"finals={merged.final_states} deadlocks={merged.deadlocks} "
+        f"rate={rate:,.0f}/s"
+    )
+    if exhausted:
+        print(f"{exhausted} test(s) exhausted the state budget")
+        return 1
+    return 0
 
 
 def _cmd_elf(path: str, max_instructions: int) -> int:
