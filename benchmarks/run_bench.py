@@ -9,6 +9,11 @@ baseline to compare against on the same machine.
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--output PATH] [--label L]
+        [--suite e6|gen]
+
+``--suite gen`` runs the diy-generated two-thread suite instead of the
+curated E6 family, appending a generated-suite throughput entry to the
+same trajectory (marked ``"suite": "gen"``).
 
 ``SEED_BASELINE`` holds the seed implementation's numbers measured by the
 same protocol (one warm process, stats from inside ``explore``) on the
@@ -52,18 +57,37 @@ SEED_BASELINE = {
 DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "BENCH_e6.json")
 
 
-def run_suite(model=None):
-    """Run the representative family; returns (per_test, total) dicts."""
-    from repro.isa.model import default_model
+#: Generated-suite benchmark: two-thread tests from the diy generator,
+#: a standing throughput workload for the cycle-based test pipeline.
+GEN_SEED = 0
+GEN_SIZE = 12
+
+
+def _suite_tests(suite):
+    """The (name, LitmusTest) pairs of the chosen benchmark suite."""
     from repro.litmus.library import by_name
+
+    if suite == "e6":
+        return [(name, by_name(name).parse()) for name in REPRESENTATIVE]
+    from repro.litmus.diy import generate
+
+    return [
+        (test.name, test.test)
+        for test in generate(GEN_SEED, GEN_SIZE, max_threads=2)
+    ]
+
+
+def run_suite(model=None, suite="e6"):
+    """Run one benchmark suite; returns (per_test, total) dicts."""
+    from repro.isa.model import default_model
     from repro.litmus.runner import run_litmus
 
     model = model if model is not None else default_model()
     per_test = {}
     total_states = total_transitions = 0
     total_seconds = 0.0
-    for name in REPRESENTATIVE:
-        result = run_litmus(by_name(name).parse(), model)
+    for name, test in _suite_tests(suite):
+        result = run_litmus(test, model)
         stats = result.exploration.stats
         per_test[name] = {
             "states": stats.states_visited,
@@ -92,19 +116,35 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default=DEFAULT_OUTPUT)
     parser.add_argument("--label", default=None, help="trajectory entry label")
+    parser.add_argument(
+        "--suite",
+        choices=("e6", "gen"),
+        default="e6",
+        help="e6: the representative curated family (default); "
+        "gen: the diy-generated two-thread suite "
+        f"(seed {GEN_SEED}, size {GEN_SIZE})",
+    )
     args = parser.parse_args(argv)
 
-    per_test, total = run_suite()
+    per_test, total = run_suite(suite=args.suite)
 
     trajectory = []
     if os.path.exists(args.output):
         with open(args.output) as handle:
             trajectory = json.load(handle)
-    if not trajectory:
+    if not trajectory and args.suite == "e6":
+        # The seed baseline is an E6 measurement; a gen-only trajectory
+        # must not start from unrelated e6 numbers.
         trajectory.append(SEED_BASELINE)
     entry = {
-        "label": args.label or f"run-{len(trajectory)}",
+        "label": args.label
+        or (
+            f"run-{len(trajectory)}"
+            if args.suite == "e6"
+            else f"gen-seed{GEN_SEED}-size{GEN_SIZE}-{len(trajectory)}"
+        ),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "suite": args.suite,
         "per_test": per_test,
         "total": total,
     }
@@ -113,16 +153,21 @@ def main(argv=None) -> int:
         json.dump(trajectory, handle, indent=2)
         handle.write("\n")
 
-    baseline = trajectory[0]["total"]
-    speedup = (
-        total["transitions_per_second"] / baseline["transitions_per_second"]
-        if baseline.get("transitions_per_second")
-        else float("nan")
-    )
-    print(f"E6 suite: {total['transitions']} transitions "
-          f"in {total['seconds']:.2f}s "
-          f"= {total['transitions_per_second']:,}/s "
-          f"({speedup:.2f}x over {trajectory[0]['label']})")
+    if args.suite == "e6":
+        baseline = trajectory[0]["total"]
+        speedup = (
+            total["transitions_per_second"] / baseline["transitions_per_second"]
+            if baseline.get("transitions_per_second")
+            else float("nan")
+        )
+        print(f"E6 suite: {total['transitions']} transitions "
+              f"in {total['seconds']:.2f}s "
+              f"= {total['transitions_per_second']:,}/s "
+              f"({speedup:.2f}x over {trajectory[0]['label']})")
+    else:
+        print(f"Generated suite ({len(per_test)} tests): "
+              f"{total['transitions']} transitions in {total['seconds']:.2f}s "
+              f"= {total['transitions_per_second']:,}/s")
     print(f"trajectory written to {args.output} ({len(trajectory)} entries)")
     return 0
 

@@ -1,5 +1,7 @@
 """Litmus-test front-end: parser, corpus, and the exhaustive runner."""
 
+from .diy import GeneratedTest, generate, generate_from_names
+from .emit import emit_litmus, format_condition
 from .library import CorpusEntry, by_name, corpus, families
 from .parser import LitmusSyntaxError, parse_litmus
 from .runner import LitmusResult, build_system, run_litmus
@@ -7,14 +9,19 @@ from .test import LitmusTest, evaluate_condition
 
 __all__ = [
     "CorpusEntry",
+    "GeneratedTest",
     "LitmusResult",
     "LitmusSyntaxError",
     "LitmusTest",
     "build_system",
     "by_name",
     "corpus",
+    "emit_litmus",
     "evaluate_condition",
     "families",
+    "format_condition",
+    "generate",
+    "generate_from_names",
     "parse_litmus",
     "run_litmus",
 ]

@@ -25,7 +25,21 @@ from .test import (
 
 
 class LitmusSyntaxError(Exception):
-    """Malformed litmus source."""
+    """Malformed litmus source.
+
+    ``line`` is the 1-based source line the error was detected on (``None``
+    when no single line can be blamed, e.g. an empty file).
+    """
+
+    def __init__(self, message: str, line: "int | None" = None):
+        super().__init__(message)
+        self.message = message
+        self.line = line
+
+    def __str__(self) -> str:
+        if self.line is not None:
+            return f"line {self.line}: {self.message}"
+        return self.message
 
 
 _DOUBLEWORD_MNEMONICS = re.compile(
@@ -44,7 +58,7 @@ def parse_litmus(source: str) -> LitmusTest:
         raise LitmusSyntaxError("empty litmus file")
     header = lines[index].split()
     if len(header) < 2:
-        raise LitmusSyntaxError(f"bad header {lines[index]!r}")
+        raise LitmusSyntaxError(f"bad header {lines[index]!r}", index + 1)
     arch, name = header[0], header[1]
     index += 1
 
@@ -55,34 +69,38 @@ def parse_litmus(source: str) -> LitmusTest:
         raise LitmusSyntaxError("missing initial-state block")
 
     # -- initial state ----------------------------------------------------
-    init_text_parts: List[str] = []
+    init_block_line = index + 1
+    init_lines: List[Tuple[int, str]] = []
     line = lines[index][lines[index].index("{") + 1 :]
     while "}" not in line:
-        init_text_parts.append(line)
+        init_lines.append((index + 1, line))
         index += 1
         if index >= len(lines):
-            raise LitmusSyntaxError("unterminated initial-state block")
+            raise LitmusSyntaxError(
+                "unterminated initial-state block", init_block_line
+            )
         line = lines[index]
-    init_text_parts.append(line[: line.index("}")])
+    init_lines.append((index + 1, line[: line.index("}")]))
     index += 1
-    init_registers, init_memory = _parse_init(";".join(init_text_parts))
+    init_registers, init_memory = _parse_init(init_lines)
 
     # -- code table --------------------------------------------------------
-    code_lines: List[str] = []
+    code_lines: List[Tuple[int, str]] = []
     while index < len(lines):
         stripped = lines[index].strip()
         if stripped.startswith(("exists", "forall", "~exists", "locations")):
             break
         if stripped:
-            code_lines.append(stripped)
+            code_lines.append((index + 1, stripped))
         index += 1
     programs = _parse_code(code_lines)
 
     # -- condition -----------------------------------------------------------
+    condition_line = index + 1 if index < len(lines) else len(lines)
     condition_text = " ".join(lines[index:]).strip()
     # 'locations [...]' preambles are informative; drop them.
     condition_text = re.sub(r"locations\s*\[[^\]]*\]", "", condition_text).strip()
-    quantifier, condition = _parse_condition(condition_text)
+    quantifier, condition = _parse_condition(condition_text, condition_line)
 
     return LitmusTest(
         name=name,
@@ -107,43 +125,50 @@ def parse_litmus(source: str) -> LitmusTest:
 
 
 def _parse_init(
-    text: str,
+    init_lines: List[Tuple[int, str]],
 ) -> Tuple[Dict[int, Dict[str, Union[int, str]]], Dict[str, int]]:
     registers: Dict[int, Dict[str, Union[int, str]]] = {}
     memory: Dict[str, int] = {}
-    for entry in text.split(";"):
-        entry = entry.strip()
-        if not entry:
-            continue
-        if "=" not in entry:
-            raise LitmusSyntaxError(f"bad init entry {entry!r}")
-        lhs, rhs = (part.strip() for part in entry.split("=", 1))
-        if ":" in lhs:
-            tid_text, reg = (part.strip() for part in lhs.split(":", 1))
-            tid = int(tid_text)
-            value: Union[int, str]
-            try:
-                value = int(rhs, 0)
-            except ValueError:
-                value = rhs  # symbolic address
-            registers.setdefault(tid, {})[_canonical_register(reg)] = value
-        else:
-            try:
-                memory[lhs] = int(rhs, 0)
-            except ValueError:
-                raise LitmusSyntaxError(
-                    f"memory init {entry!r} must be a constant"
-                )
+    for lineno, text in init_lines:
+        for entry in text.split(";"):
+            entry = entry.strip()
+            if not entry:
+                continue
+            if "=" not in entry:
+                raise LitmusSyntaxError(f"bad init entry {entry!r}", lineno)
+            lhs, rhs = (part.strip() for part in entry.split("=", 1))
+            if ":" in lhs:
+                tid_text, reg = (part.strip() for part in lhs.split(":", 1))
+                try:
+                    tid = int(tid_text)
+                except ValueError:
+                    raise LitmusSyntaxError(
+                        f"bad thread id in init entry {entry!r}", lineno
+                    )
+                value: Union[int, str]
+                try:
+                    value = int(rhs, 0)
+                except ValueError:
+                    value = rhs  # symbolic address
+                register = _canonical_register(reg, lineno)
+                registers.setdefault(tid, {})[register] = value
+            else:
+                try:
+                    memory[lhs] = int(rhs, 0)
+                except ValueError:
+                    raise LitmusSyntaxError(
+                        f"memory init {entry!r} must be a constant", lineno
+                    )
     return registers, memory
 
 
-def _canonical_register(reg: str) -> str:
+def _canonical_register(reg: str, line: "int | None" = None) -> str:
     reg = reg.strip().lower()
     if re.fullmatch(r"r\d+", reg):
         return f"GPR{int(reg[1:])}"
     if reg in ("lr", "ctr", "cr", "xer"):
         return reg.upper()
-    raise LitmusSyntaxError(f"unsupported register {reg!r} in init")
+    raise LitmusSyntaxError(f"unsupported register {reg!r} in init", line)
 
 
 # ----------------------------------------------------------------------
@@ -151,18 +176,23 @@ def _canonical_register(reg: str) -> str:
 # ----------------------------------------------------------------------
 
 
-def _parse_code(code_lines: List[str]) -> List[List[str]]:
+def _parse_code(code_lines: List[Tuple[int, str]]) -> List[List[str]]:
     if not code_lines:
         raise LitmusSyntaxError("no code section")
     rows: List[List[str]] = []
-    for line in code_lines:
+    for lineno, line in code_lines:
         if not line.endswith(";"):
-            raise LitmusSyntaxError(f"code row {line!r} missing ';'")
+            raise LitmusSyntaxError(f"code row {line!r} missing ';'", lineno)
         cells = [cell.strip() for cell in line[:-1].split("|")]
         rows.append(cells)
     width = len(rows[0])
-    if any(len(row) != width for row in rows):
-        raise LitmusSyntaxError("ragged code table")
+    for (lineno, line), row in zip(code_lines, rows):
+        if len(row) != width:
+            raise LitmusSyntaxError(
+                f"ragged code table: row has {len(row)} columns, "
+                f"expected {width}",
+                lineno,
+            )
     header = rows[0]
     if all(re.fullmatch(r"P\d+", cell) for cell in header):
         rows = rows[1:]
@@ -180,12 +210,13 @@ def _parse_code(code_lines: List[str]) -> List[List[str]]:
 
 
 class _ConditionParser:
-    def __init__(self, text: str):
+    def __init__(self, text: str, line: "int | None" = None):
         self._tokens = re.findall(
             r"/\\|\\/|~|\(|\)|\[|\]|=|[A-Za-z_][A-Za-z0-9_.]*|\d+:\w+|-?\d[xX0-9a-fA-F]*",
             text,
         )
         self._pos = 0
+        self._line = line
 
     def _peek(self) -> str:
         return self._tokens[self._pos] if self._pos < len(self._tokens) else ""
@@ -195,10 +226,21 @@ class _ConditionParser:
         self._pos += 1
         return token
 
+    def _value(self) -> int:
+        token = self._next()
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise LitmusSyntaxError(
+                f"expected a value in condition, got {token!r}", self._line
+            )
+
     def parse(self) -> Condition:
         condition = self._parse_or()
         if self._peek():
-            raise LitmusSyntaxError(f"trailing condition tokens: {self._peek()!r}")
+            raise LitmusSyntaxError(
+                f"trailing condition tokens: {self._peek()!r}", self._line
+            )
         return condition
 
     def _parse_or(self) -> Condition:
@@ -221,7 +263,7 @@ class _ConditionParser:
             self._next()
             inner = self._parse_or()
             if self._next() != ")":
-                raise LitmusSyntaxError("missing ')' in condition")
+                raise LitmusSyntaxError("missing ')' in condition", self._line)
             return inner
         if token == "~":
             self._next()
@@ -233,27 +275,31 @@ class _ConditionParser:
             self._next()
             location = self._next()
             if self._next() != "]":
-                raise LitmusSyntaxError("missing ']' in condition")
+                raise LitmusSyntaxError("missing ']' in condition", self._line)
             if self._next() != "=":
-                raise LitmusSyntaxError("expected '=' in condition")
-            return MemoryEquals(location, int(self._next(), 0))
+                raise LitmusSyntaxError("expected '=' in condition", self._line)
+            return MemoryEquals(location, self._value())
         if re.fullmatch(r"\d+:\w+", token):
             self._next()
             tid_text, reg = token.split(":")
             if self._next() != "=":
-                raise LitmusSyntaxError("expected '=' in condition")
+                raise LitmusSyntaxError("expected '=' in condition", self._line)
             return RegisterEquals(
-                int(tid_text), _canonical_register(reg), int(self._next(), 0)
+                int(tid_text),
+                _canonical_register(reg, self._line),
+                self._value(),
             )
         if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.]*", token):
             self._next()
             if self._next() != "=":
-                raise LitmusSyntaxError("expected '=' in condition")
-            return MemoryEquals(token, int(self._next(), 0))
-        raise LitmusSyntaxError(f"bad condition token {token!r}")
+                raise LitmusSyntaxError("expected '=' in condition", self._line)
+            return MemoryEquals(token, self._value())
+        raise LitmusSyntaxError(f"bad condition token {token!r}", self._line)
 
 
-def _parse_condition(text: str) -> Tuple[str, Condition]:
+def _parse_condition(
+    text: str, line: "int | None" = None
+) -> Tuple[str, Condition]:
     text = text.strip()
     if not text:
         return "exists", TrueCondition()
@@ -264,5 +310,5 @@ def _parse_condition(text: str) -> Tuple[str, Condition]:
     elif text.startswith("forall"):
         quantifier, rest = "forall", text[len("forall") :]
     else:
-        raise LitmusSyntaxError(f"bad condition {text!r}")
-    return quantifier, _ConditionParser(rest).parse()
+        raise LitmusSyntaxError(f"bad condition {text!r}", line)
+    return quantifier, _ConditionParser(rest, line).parse()

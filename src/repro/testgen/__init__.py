@@ -1,12 +1,17 @@
-"""Sequential test generation and differential validation (section 7)."""
+"""Sequential and concurrent test generation plus validation (section 7)."""
 
 from .compare import ComparisonResult, SuiteReport, run_differential, run_suite
+from .concurrent import OracleCheck, OracleReport, check_suite, expectation
 from .sequential import SequentialTest, generate_suite, generate_tests
 
 __all__ = [
     "ComparisonResult",
+    "OracleCheck",
+    "OracleReport",
     "SequentialTest",
     "SuiteReport",
+    "check_suite",
+    "expectation",
     "generate_suite",
     "generate_tests",
     "run_differential",

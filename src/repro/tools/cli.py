@@ -6,6 +6,8 @@ Modes:
   * ``ppcmem2 interactive TEST.litmus``  -- step through transitions
   * ``ppcmem2 corpus [--jobs N]``        -- run the built-in corpus
   * ``ppcmem2 litmus [...] --jobs N``    -- run a litmus corpus in parallel
+  * ``ppcmem2 gen --seed N --size K``    -- generate a diy-style suite
+    (``--check --jobs J`` oracle-checks it against envelope invariants)
   * ``ppcmem2 elf BINARY``               -- sequential execution of an ELF
 
 The interactive mode shows Fig. 3-style system states: storage subsystem
@@ -74,6 +76,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--max-states", type=int, default=None, help="state budget per test"
     )
 
+    gen_parser = sub.add_parser(
+        "gen",
+        help="generate a diy-style litmus suite (and optionally oracle-check it)",
+    )
+    gen_parser.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default 0)"
+    )
+    gen_parser.add_argument(
+        "--size", type=int, default=20, help="number of distinct tests"
+    )
+    gen_parser.add_argument(
+        "--max-threads",
+        type=int,
+        default=4,
+        help="largest thread count to generate (default 4)",
+    )
+    gen_parser.add_argument(
+        "--out", default=None, help="write one .litmus file per test here"
+    )
+    gen_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the suite through the explorer and check envelope invariants",
+    )
+    gen_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for --check (default: CPU count)",
+    )
+    gen_parser.add_argument(
+        "--max-states",
+        type=int,
+        default=150000,
+        help="state budget per test for --check (default 150000)",
+    )
+
     elf_parser = sub.add_parser("elf", help="run an ELF binary sequentially")
     elf_parser.add_argument("binary", help="path to a Power64 ELF executable")
     elf_parser.add_argument(
@@ -89,6 +128,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_corpus(args.jobs)
     if args.command == "litmus":
         return _cmd_litmus(args.tests, args.corpus, args.jobs, args.max_states)
+    if args.command == "gen":
+        return _cmd_gen(args)
     if args.command == "elf":
         return _cmd_elf(args.binary, args.max_instructions)
     return 2
@@ -214,6 +255,58 @@ def _cmd_litmus(paths, include_corpus: bool, jobs, max_states) -> int:
         print(f"{exhausted} test(s) exhausted the state budget")
         return 1
     return 0
+
+
+def _cmd_gen(args) -> int:
+    """Generate a diy suite; print (or save) it, optionally oracle-check it."""
+    import os
+
+    from ..litmus.diy import generate
+
+    tests = generate(args.seed, args.size, max_threads=args.max_threads)
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for test in tests:
+            path = os.path.join(args.out, f"{test.name}.litmus")
+            with open(path, "w") as handle:
+                handle.write(test.source)
+        print(f"wrote {len(tests)} tests to {args.out}")
+    else:
+        for test in tests:
+            sys.stdout.write(test.source)
+            sys.stdout.write("\n")
+    families = sorted({test.family for test in tests})
+    print(
+        f"generated {len(tests)} distinct tests "
+        f"({len(families)} families, seed {args.seed})",
+        file=sys.stderr,
+    )
+    if not args.check:
+        return 0
+
+    from ..testgen.concurrent import check_suite
+
+    report = check_suite(tests, jobs=args.jobs, max_states=args.max_states)
+    # Diagnostics go to stderr: stdout stays a clean litmus stream.
+    for check in report.checks:
+        verdict = (
+            "ok"
+            if check.ok
+            else ("--" if check.ok is None else "VIOLATION")
+        )
+        print(
+            f"{check.name:36s} expected={str(check.expected):9s} "
+            f"model={check.status:10s} {verdict}",
+            file=sys.stderr,
+        )
+    print(
+        f"Oracle: {report.checked} invariants checked, "
+        f"{len(report.violations)} violation(s), {report.skipped} over "
+        f"state budget, {report.unasserted} unasserted, "
+        f"{report.jobs} worker(s), {report.wall_seconds:.2f}s wall",
+        file=sys.stderr,
+    )
+    return 1 if report.violations else 0
 
 
 def _cmd_elf(path: str, max_instructions: int) -> int:

@@ -1,0 +1,135 @@
+"""Pretty-printer round-trip property and parser error line numbers.
+
+The emitter's normal form must be a fixed point of parse-then-emit:
+``emit(parse(emit(t))) == emit(t)`` over generated tests (Hypothesis
+drives the generator seed) and over the whole curated corpus.  Parse
+errors must carry 1-based source line numbers.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.litmus import diy
+from repro.litmus.emit import emit_litmus, format_condition
+from repro.litmus.library import corpus
+from repro.litmus.parser import LitmusSyntaxError, parse_litmus
+from repro.litmus.test import And, MemoryEquals, Not, Or, RegisterEquals
+
+
+# ----------------------------------------------------------------------
+# Round-trip property
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(seed=st.integers(min_value=0, max_value=2**20))
+def test_roundtrip_over_generated_tests(seed):
+    for generated in diy.generate(seed, 3):
+        emitted = generated.source
+        assert emitted == emit_litmus(generated.test)
+        reparsed = parse_litmus(emitted)
+        assert emit_litmus(reparsed) == emitted
+
+
+def test_roundtrip_over_curated_corpus():
+    for entry in corpus():
+        emitted = emit_litmus(entry.parse())
+        reparsed = parse_litmus(emitted)
+        assert emit_litmus(reparsed) == emitted, entry.name
+        # The normal form preserves meaning: same programs and condition.
+        original = entry.parse()
+        assert reparsed.programs == original.programs
+        assert reparsed.condition == original.condition
+        assert reparsed.init_memory == original.init_memory
+
+
+def test_roundtrip_nested_condition():
+    source = """
+POWER nested
+{
+0:r1=x;
+x=0;
+}
+ P0           ;
+ lwz r5,0(r1) ;
+exists (~(0:r5=1 \\/ [x]=2) /\\ (x=0 \\/ 0:r5=3))
+"""
+    test = parse_litmus(source)
+    emitted = emit_litmus(test)
+    reparsed = parse_litmus(emitted)
+    assert reparsed.condition == test.condition
+    assert emit_litmus(reparsed) == emitted
+
+
+def test_format_condition_precedence():
+    # Or nested under And needs parentheses; And under Or does not.
+    cond = And(Or(MemoryEquals("x", 1), MemoryEquals("y", 2)),
+               RegisterEquals(0, "GPR5", 3))
+    text = format_condition(cond)
+    assert text == "([x]=1 \\/ [y]=2) /\\ 0:r5=3"
+    cond2 = Or(And(MemoryEquals("x", 1), MemoryEquals("y", 2)),
+               Not(RegisterEquals(0, "GPR5", 3)))
+    assert format_condition(cond2) == "[x]=1 /\\ [y]=2 \\/ ~(0:r5=3)"
+
+
+# ----------------------------------------------------------------------
+# Parser error line numbers
+# ----------------------------------------------------------------------
+
+
+class TestErrorLineNumbers:
+    def test_bad_init_entry(self):
+        source = "POWER t\n{\n0:r1=x;\nbogus;\n}\n P0 ;\n nop ;\nexists (x=0)"
+        with pytest.raises(LitmusSyntaxError) as excinfo:
+            parse_litmus(source)
+        assert excinfo.value.line == 4
+        assert "line 4" in str(excinfo.value)
+
+    def test_unsupported_register(self):
+        source = "POWER t\n{\n0:f1=x;\n}\n P0 ;\n nop ;\nexists (x=0)"
+        with pytest.raises(LitmusSyntaxError) as excinfo:
+            parse_litmus(source)
+        assert excinfo.value.line == 3
+
+    def test_missing_semicolon_in_code_row(self):
+        source = "POWER t\n{\nx=0;\n}\n P0 ;\n nop\nexists (x=0)"
+        with pytest.raises(LitmusSyntaxError) as excinfo:
+            parse_litmus(source)
+        assert excinfo.value.line == 6
+        assert "';'" in str(excinfo.value)
+
+    def test_ragged_code_table(self):
+        source = (
+            "POWER t\n{\nx=0;\n}\n P0 | P1 ;\n nop | nop ;\n nop ;\n"
+            "exists (x=0)"
+        )
+        with pytest.raises(LitmusSyntaxError) as excinfo:
+            parse_litmus(source)
+        assert excinfo.value.line == 7
+        assert "ragged" in str(excinfo.value)
+
+    def test_bad_condition(self):
+        source = "POWER t\n{\nx=0;\n}\n P0 ;\n nop ;\nexists (x=)"
+        with pytest.raises(LitmusSyntaxError) as excinfo:
+            parse_litmus(source)
+        assert excinfo.value.line == 7
+
+    def test_unterminated_init_block(self):
+        source = "POWER t\n{\nx=0;"
+        with pytest.raises(LitmusSyntaxError) as excinfo:
+            parse_litmus(source)
+        assert excinfo.value.line == 2
+        assert "unterminated" in str(excinfo.value)
+
+    def test_bad_header(self):
+        with pytest.raises(LitmusSyntaxError) as excinfo:
+            parse_litmus("POWER\n{\nx=0;\n}\n P0 ;\n nop ;\nexists (x=0)")
+        assert excinfo.value.line == 1
+
+    def test_error_without_line_has_plain_message(self):
+        with pytest.raises(LitmusSyntaxError) as excinfo:
+            parse_litmus("")
+        assert excinfo.value.line is None
+        assert "line" not in str(excinfo.value)

@@ -1,0 +1,67 @@
+"""The multiprocessing corpus runner must agree with the sequential path.
+
+``run_corpus(..., jobs=2)`` shards tests across worker processes and
+merges their ``ExplorationStats``; on the same corpus slice the merged
+counters, per-test verdicts and outcome sets must be identical to a
+sequential (``jobs=1``) run.  This exercises the pool + merge path even
+on a single-CPU container.
+"""
+
+from repro.litmus.library import by_name
+from repro.litmus.runner import run_corpus
+
+SLICE = ["MP", "MP+syncs", "SB", "LB+datas"]
+
+
+def _entries():
+    return [by_name(name) for name in SLICE]
+
+
+def test_jobs2_matches_sequential_run():
+    sequential = run_corpus(_entries(), jobs=1)
+    parallel = run_corpus(_entries(), jobs=2)
+
+    assert sequential.jobs == 1
+    assert parallel.jobs == 2
+    assert parallel.wall_seconds > 0
+
+    by_name_seq = {result.name: result for result in sequential.results}
+    by_name_par = {result.name: result for result in parallel.results}
+    assert set(by_name_seq) == set(by_name_par) == set(SLICE)
+
+    for name in SLICE:
+        seq, par = by_name_seq[name], by_name_par[name]
+        assert par.status == seq.status, name
+        assert par.witnessed == seq.witnessed, name
+        assert par.outcomes == seq.outcomes, name
+        assert par.stats.states_visited == seq.stats.states_visited, name
+        assert par.stats.transitions_taken == seq.stats.transitions_taken, name
+        assert par.stats.final_states == seq.stats.final_states, name
+        assert par.stats.deadlocks == seq.stats.deadlocks, name
+
+    merged_seq = sequential.merged_stats()
+    merged_par = parallel.merged_stats()
+    assert merged_par.states_visited == merged_seq.states_visited
+    assert merged_par.transitions_taken == merged_seq.transitions_taken
+    assert merged_par.final_states == merged_seq.final_states
+    assert merged_par.deadlocks == merged_seq.deadlocks
+    assert merged_par.max_frontier == merged_seq.max_frontier
+    assert merged_par.seconds > 0
+
+
+def test_generated_suite_through_run_corpus():
+    """Generated tests are first-class corpus entries (name/source pairs)."""
+    from repro.litmus import diy
+
+    tests = diy.generate(1, 4, max_threads=2)
+    report = run_corpus(
+        [(test.name, test.source) for test in tests],
+        jobs=2,
+        max_states=150_000,
+    )
+    assert len(report.results) == 4
+    assert {result.name for result in report.results} == {
+        test.name for test in tests
+    }
+    for result in report.results:
+        assert result.status in ("Allowed", "Forbidden", "StateLimit")
