@@ -9,11 +9,20 @@ baseline to compare against on the same machine.
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--output PATH] [--label L]
-        [--suite e6|gen]
+        [--suite e6|gen] [--strategy sequential|sharded|bounded]
+        [--intra-jobs N] [--shard-depth D]
 
 ``--suite gen`` runs the diy-generated two-thread suite instead of the
 curated E6 family, appending a generated-suite throughput entry to the
 same trajectory (marked ``"suite": "gen"``).
+
+``--strategy`` picks the search backend per test (entries record it
+under ``"strategy"``): ``sharded --intra-jobs N`` forks each test's own
+frontier across N workers, so multi-core boxes can finally speed up a
+*single* large exploration; on the 1-CPU reference container it measures
+the sharding overhead instead.  Sharded counters include cross-shard
+duplicate work, so compare its ``seconds``/wall numbers, not its
+transition counts, against sequential entries.
 
 ``SEED_BASELINE`` holds the seed implementation's numbers measured by the
 same protocol (one warm process, stats from inside ``explore``) on the
@@ -77,7 +86,7 @@ def _suite_tests(suite):
     ]
 
 
-def run_suite(model=None, suite="e6"):
+def run_suite(model=None, suite="e6", strategy=None):
     """Run one benchmark suite; returns (per_test, total) dicts."""
     from repro.isa.model import default_model
     from repro.litmus.runner import run_litmus
@@ -87,7 +96,7 @@ def run_suite(model=None, suite="e6"):
     total_states = total_transitions = 0
     total_seconds = 0.0
     for name, test in _suite_tests(suite):
-        result = run_litmus(test, model)
+        result = run_litmus(test, model, strategy=strategy)
         stats = result.exploration.stats
         per_test[name] = {
             "states": stats.states_visited,
@@ -124,9 +133,55 @@ def main(argv=None) -> int:
         "gen: the diy-generated two-thread suite "
         f"(seed {GEN_SEED}, size {GEN_SIZE})",
     )
+    parser.add_argument(
+        "--strategy",
+        choices=("sequential", "sharded", "bounded"),
+        default="sequential",
+        help="search backend per test (default sequential)",
+    )
+    parser.add_argument(
+        "--intra-jobs",
+        type=int,
+        default=None,
+        help="frontier workers per test for --strategy sharded",
+    )
+    parser.add_argument(
+        "--shard-depth",
+        type=int,
+        default=None,
+        help="frontier split depth for --strategy sharded",
+    )
     args = parser.parse_args(argv)
 
-    per_test, total = run_suite(suite=args.suite)
+    from repro.concurrency.search import make_strategy
+
+    if args.strategy != "sharded" and (
+        args.intra_jobs is not None or args.shard_depth is not None
+    ):
+        print(
+            "warning: --intra-jobs/--shard-depth only apply to "
+            "--strategy sharded; ignored",
+            file=sys.stderr,
+        )
+    strategy = make_strategy(
+        args.strategy, jobs=args.intra_jobs, shard_depth=args.shard_depth
+    )
+    # Record what will actually run, not the raw CLI args: resolve the
+    # worker count, and flag sharded entries that degrade to sequential
+    # (one usable CPU / no fork) so cross-machine comparisons aren't
+    # poisoned by a mislabeled backend.
+    strategy_record = {"name": args.strategy}
+    if args.strategy == "sharded":
+        from repro.concurrency.search import ShardedParallel
+
+        # Reuse the strategy's own resolution so record and runtime
+        # cannot drift apart.
+        resolved_jobs = strategy.effective_jobs()
+        strategy_record["intra_jobs"] = resolved_jobs
+        strategy_record["shard_depth"] = strategy.shard_depth
+        if resolved_jobs <= 1 or not ShardedParallel.can_fork():
+            strategy_record["effective"] = "sequential"
+    per_test, total = run_suite(suite=args.suite, strategy=strategy)
 
     trajectory = []
     if os.path.exists(args.output):
@@ -145,6 +200,7 @@ def main(argv=None) -> int:
         ),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "suite": args.suite,
+        "strategy": strategy_record,
         "per_test": per_test,
         "total": total,
     }

@@ -11,8 +11,22 @@ from .exhaustive import (
     run_one,
 )
 from .keys import CachedKey
-from .parallel import CorpusReport, CorpusTestResult, explore_corpus
+from .parallel import (
+    CorpusReport,
+    CorpusTestResult,
+    default_job_count,
+    explore_corpus,
+    plan_worker_budget,
+)
 from .params import DEFAULT_PARAMS, ModelParams
+from .search import (
+    BoundedIterative,
+    SearchStrategy,
+    SequentialDFS,
+    ShardedParallel,
+    make_strategy,
+    resolve_strategy,
+)
 from .storage import CoherenceViolation, StorageSubsystem
 from .system import SystemState, Transition
 from .thread import InstructionInstance, ModelError, ThreadState
@@ -20,6 +34,7 @@ from .thread import InstructionInstance, ModelError, ThreadState
 __all__ = [
     "BarrierEvent",
     "BarrierId",
+    "BoundedIterative",
     "CachedKey",
     "CoherenceViolation",
     "CorpusReport",
@@ -31,6 +46,9 @@ __all__ = [
     "InstructionInstance",
     "ModelError",
     "ModelParams",
+    "SearchStrategy",
+    "SequentialDFS",
+    "ShardedParallel",
     "StorageSubsystem",
     "SystemState",
     "ThreadState",
@@ -38,8 +56,12 @@ __all__ = [
     "Witness",
     "Write",
     "WriteId",
+    "default_job_count",
     "explore",
     "explore_corpus",
     "find_witness",
+    "make_strategy",
+    "plan_worker_budget",
+    "resolve_strategy",
     "run_one",
 ]

@@ -5,188 +5,34 @@ over the system-state transition graph.  Final states are summarised as
 *outcomes* -- per-thread final register values plus possible final memory
 values (one outcome per linearisation of residual coherence freedom).
 
-The search is exact, not a sampling: with the eager-transition closure the
-branching transitions are exactly the observable ordering choices, so the
-collected outcome set is the architectural envelope for the test.
-
-``explore`` and ``find_witness`` share the frontier/seen bookkeeping
-(``_Frontier``) and the ``ExplorationStats`` accounting, so witness searches
-report the same statistics as full explorations.
+This module is now a thin facade over the pluggable search subsystem
+(``repro.concurrency.search``): the historical ``explore`` and
+``find_witness`` entry points delegate to a ``SearchStrategy`` backend
+(``SequentialDFS`` by default, which is bit-identical -- states visited,
+transitions taken, outcomes -- to the pre-refactor loops).  Pass
+``strategy`` (an instance or registry name) to search differently:
+``ShardedParallel`` forks the frontier across worker processes inside a
+single test, ``BoundedIterative`` trades completeness for a bounded,
+flagged partial result.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import (
-    Dict,
-    FrozenSet,
-    Iterable,
-    Iterator,
-    List,
-    Optional,
-    Set,
-    Tuple,
-)
+from typing import Iterable, Optional, Tuple
 
-from ..sail.values import Bits
+from .search import resolve_strategy
+from .search.core import (  # noqa: F401  (re-exported compatibility surface)
+    ExplorationLimit,
+    ExplorationResult,
+    ExplorationStats,
+    Frontier as _Frontier,
+    Outcome,
+    Witness,
+    outcome_of as _outcome_of,
+    registers_of_interest as _registers_of_interest,
+)
 from .system import SystemState, Transition
 from .thread import ModelError
-
-#: An outcome: ((tid, reg, value-int-or-None) ...) + ((addr,size,value) ...).
-Outcome = Tuple[Tuple, Tuple]
-
-
-class ExplorationLimit(Exception):
-    """The state budget was exhausted before the search completed."""
-
-
-@dataclass
-class ExplorationStats:
-    states_visited: int = 0
-    transitions_taken: int = 0
-    final_states: int = 0
-    deadlocks: int = 0
-    max_frontier: int = 0
-    seconds: float = 0.0
-
-    def merge(self, other: "ExplorationStats") -> None:
-        """Fold another search's accounting into this one (corpus totals)."""
-        self.states_visited += other.states_visited
-        self.transitions_taken += other.transitions_taken
-        self.final_states += other.final_states
-        self.deadlocks += other.deadlocks
-        self.max_frontier = max(self.max_frontier, other.max_frontier)
-        self.seconds += other.seconds
-
-
-@dataclass
-class ExplorationResult:
-    outcomes: Set[Outcome]
-    stats: ExplorationStats
-    deadlock_states: List[SystemState] = field(default_factory=list)
-
-    def register_outcomes(self) -> Set[Tuple]:
-        """Just the register parts of the outcomes."""
-        return {registers for registers, _memory in self.outcomes}
-
-
-@dataclass
-class Witness:
-    """A witnessing execution: the abstract-machine trace plus statistics.
-
-    Unpackable, indexable and sized as the ``(trace, final_state)``
-    two-tuple that ``find_witness`` originally returned.
-    """
-
-    trace: List[Transition]
-    final_state: SystemState
-    stats: ExplorationStats
-
-    def __iter__(self) -> Iterator:
-        yield self.trace
-        yield self.final_state
-
-    def __getitem__(self, index):
-        return (self.trace, self.final_state)[index]
-
-    def __len__(self) -> int:
-        return 2
-
-
-class _Frontier:
-    """DFS frontier + seen-set bookkeeping shared by the search modes.
-
-    Each stack entry is a (state, payload) pair; ``explore`` carries no
-    payload, ``find_witness`` carries the transition path.  Popping counts
-    a visited state against the budget; pushing applies a transition,
-    counts it, and deduplicates the successor against the seen keys.
-    """
-
-    def __init__(self, initial: SystemState, payload, limit: int,
-                 stats: ExplorationStats):
-        self.limit = limit
-        self.stats = stats
-        self.stack: List[Tuple[SystemState, object]] = [(initial, payload)]
-        self.seen: Set = {initial.key()}
-
-    def __bool__(self) -> bool:
-        return bool(self.stack)
-
-    def pop(self) -> Tuple[SystemState, object]:
-        stats = self.stats
-        stats.max_frontier = max(stats.max_frontier, len(self.stack))
-        state, payload = self.stack.pop()
-        stats.states_visited += 1
-        if stats.states_visited > self.limit:
-            raise ExplorationLimit(
-                f"exceeded {self.limit} states; increase params.max_states"
-            )
-        return state, payload
-
-    def push(self, state: SystemState, transition: Transition,
-             payload) -> None:
-        successor = state.apply(transition)
-        self.stats.transitions_taken += 1
-        key = successor.key()
-        if key not in self.seen:
-            self.seen.add(key)
-            self.stack.append((successor, payload))
-
-
-def _registers_of_interest(
-    system: SystemState,
-    static_cache: Optional[Dict[int, FrozenSet[str]]] = None,
-) -> List[Tuple[int, str]]:
-    """(tid, register) pairs whose final values describe an outcome.
-
-    The static output registers of an instance depend only on its fetch
-    address (program memory is fixed for the whole exploration), so they are
-    computed once per address and cached across the search's final states;
-    each state only extends the set with its dynamically discovered writes.
-    """
-    if static_cache is None:
-        static_cache = {}
-    names: List[Tuple[int, str]] = []
-    for tid, thread in sorted(system.threads.items()):
-        seen = set(thread.initial_registers)
-        for instance in thread.instances.values():
-            for record in instance.reg_writes:
-                seen.add(record.slice.reg)
-            static = static_cache.get(instance.address)
-            if static is None:
-                static = frozenset(
-                    out.reg for out in instance.static_fp.regs_out
-                )
-                static_cache[instance.address] = static
-            seen.update(static)
-        for name in sorted(seen):
-            names.append((tid, name))
-    return names
-
-
-def _outcome_of(
-    system: SystemState,
-    memory_cells: Iterable[Tuple[int, int]],
-    static_cache: Optional[Dict[int, FrozenSet[str]]] = None,
-) -> List[Outcome]:
-    registers = []
-    for tid, name in _registers_of_interest(system, static_cache):
-        value = system.threads[tid].final_register_value(system.model, name)
-        registers.append(
-            (tid, name, value.to_int() if value.is_known else None)
-        )
-    register_part = tuple(registers)
-    cells = list(memory_cells)
-    if not cells:
-        return [(register_part, ())]
-    outcomes = []
-    for memory in system.final_memory(cells):
-        memory_part = tuple(
-            (addr, size, memory[(addr, size)]) for addr, size in cells
-        )
-        outcomes.append((register_part, memory_part))
-    return outcomes
 
 
 def explore(
@@ -194,49 +40,20 @@ def explore(
     memory_cells: Iterable[Tuple[int, int]] = (),
     max_states: Optional[int] = None,
     collect_deadlocks: bool = False,
+    strategy=None,
 ) -> ExplorationResult:
     """Exhaustively enumerate all reachable final states.
 
     ``memory_cells`` lists (addr, size) memory locations whose final values
-    the caller cares about (from the litmus test's final condition).
+    the caller cares about (from the litmus test's final condition);
+    ``strategy`` picks the search backend (default: sequential DFS).
     """
-    limit = max_states if max_states is not None else initial.params.max_states
-    cells = tuple(memory_cells)
-    stats = ExplorationStats()
-    outcomes: Set[Outcome] = set()
-    deadlocks: List[SystemState] = []
-    static_cache: Dict[int, FrozenSet[str]] = {}
-    started = time.perf_counter()
-
-    frontier = _Frontier(initial, None, limit, stats)
-    while frontier:
-        state, _ = frontier.pop()
-        if state.is_final():
-            # Residual propagate/ack transitions only add coherence edges;
-            # the final-memory enumeration over linear extensions of the
-            # current partial order already covers every continuation.
-            stats.final_states += 1
-            outcomes.update(_outcome_of(state, cells, static_cache))
-            continue
-        transitions = state.enumerate_transitions()
-        if not transitions:
-            if state.threads_finished():
-                # Threads complete but some write cannot reach its coherence
-                # point (a barrier-induced cycle): a dead path representing
-                # coherence choices no hardware execution can realise.
-                stats.deadlocks += 1
-                if collect_deadlocks:
-                    deadlocks.append(state)
-                continue
-            raise ModelError(
-                "deadlock: no transitions from a non-final state\n"
-                + state.render()
-            )
-        for transition in transitions:
-            frontier.push(state, transition, None)
-
-    stats.seconds = time.perf_counter() - started
-    return ExplorationResult(outcomes, stats, deadlocks)
+    return resolve_strategy(strategy).explore(
+        initial,
+        memory_cells=memory_cells,
+        max_states=max_states,
+        collect_deadlocks=collect_deadlocks,
+    )
 
 
 def find_witness(
@@ -244,6 +61,7 @@ def find_witness(
     predicate,
     memory_cells: Iterable[Tuple[int, int]] = (),
     max_states: Optional[int] = None,
+    strategy=None,
 ) -> Optional[Witness]:
     """Search for one execution whose outcome satisfies ``predicate``.
 
@@ -253,31 +71,12 @@ def find_witness(
     The trace is the abstract-machine run behind the outcome -- the
     executable counterpart of the paper's execution diagrams.
     """
-    limit = max_states if max_states is not None else initial.params.max_states
-    cells = tuple(memory_cells)
-    stats = ExplorationStats()
-    static_cache: Dict[int, FrozenSet[str]] = {}
-    started = time.perf_counter()
-
-    frontier = _Frontier(initial, (), limit, stats)
-    while frontier:
-        state, path = frontier.pop()
-        if state.is_final():
-            stats.final_states += 1
-            for outcome in _outcome_of(state, cells, static_cache):
-                if predicate(outcome):
-                    stats.seconds = time.perf_counter() - started
-                    return Witness(list(path), state, stats)
-            continue
-        transitions = state.enumerate_transitions()
-        if not transitions and state.threads_finished():
-            stats.deadlocks += 1
-            continue
-        for transition in transitions:
-            frontier.push(state, transition, path + (transition,))
-
-    stats.seconds = time.perf_counter() - started
-    return None
+    return resolve_strategy(strategy).find_witness(
+        initial,
+        predicate,
+        memory_cells=memory_cells,
+        max_states=max_states,
+    )
 
 
 def run_one(initial: SystemState, choose=None, max_steps: int = 100000):

@@ -3,28 +3,39 @@
 State graphs of distinct litmus tests are independent, so the natural unit
 of parallelism is one test: the corpus is sharded per test across
 ``multiprocessing`` workers, each of which builds (or, with the ``fork``
-start method, inherits) the process-wide ISA model and runs the ordinary
-exhaustive oracle.  Results come back as slim, picklable
-``CorpusTestResult`` records whose ``ExplorationStats`` are merged into
-corpus-level totals.
+start method, inherits) the process-wide ISA model and runs the exhaustive
+oracle through a pluggable ``SearchStrategy``.  Results come back as slim,
+picklable ``CorpusTestResult`` records whose ``ExplorationStats`` are
+merged into corpus-level totals.
 
 ``explore_corpus`` takes ``(name, source)`` pairs so workers re-parse the
 litmus source themselves -- litmus files are tiny, and shipping text keeps
 the worker protocol independent of every internal class being picklable.
+(Strategies themselves are frozen dataclasses, picklable by value.)
+
+Corpus-level and intra-test parallelism compose under ONE worker budget
+(``jobs``): with several tests to run, per-test sharding soaks up the
+budget and intra-test search stays sequential (pool workers are daemonic
+and may not fork children); with a single test -- the IRIW+syncs-class
+case where one graph dwarfs the corpus -- the whole budget is handed to
+the test's ``ShardedParallel`` frontier workers instead.
+``plan_worker_budget`` is that policy.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
-from .exhaustive import ExplorationLimit, ExplorationStats
 from .params import DEFAULT_PARAMS, ModelParams
+from .search import SearchStrategy, ShardedParallel, resolve_strategy
+from .search.core import ExplorationLimit, ExplorationStats
 
-#: One unit of work: (test name, litmus source, params, max_states).
-Task = Tuple[str, str, ModelParams, Optional[int]]
+#: One unit of work: (name, litmus source, params, max_states, strategy).
+Task = Tuple[str, str, ModelParams, Optional[int], SearchStrategy]
 
 
 @dataclass
@@ -38,6 +49,7 @@ class CorpusTestResult:
     outcomes: Set[Tuple]  # the full outcome set (register/memory tuples)
     stats: ExplorationStats
     error: Optional[str] = None  # set when the state budget was exhausted
+    complete: bool = True  # False: ``outcomes`` is a partial set
 
     @property
     def outcome_count(self) -> int:
@@ -67,7 +79,32 @@ class CorpusReport:
 
 
 def default_job_count() -> int:
-    return os.cpu_count() or 1
+    """Usable CPUs: the scheduling affinity mask where the OS exposes it.
+
+    ``os.cpu_count()`` reports the machine's cores even when the process
+    is pinned to fewer (cgroup-limited containers, taskset), which
+    over-subscribes the pool; prefer the affinity mask.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def plan_worker_budget(budget: int, test_count: int) -> Tuple[int, int]:
+    """Split one worker budget into (corpus jobs, intra-test jobs).
+
+    Per-test sharding is near-embarrassingly parallel, so it takes the
+    whole budget whenever there is more than one test (intra-test search
+    then runs sequentially inside the daemonic pool workers, which may
+    not fork children of their own).  A single test gets the budget as
+    intra-test frontier workers instead.
+    """
+    if budget < 1:
+        raise ValueError(f"jobs must be >= 1, got {budget}")
+    corpus_jobs = min(budget, max(1, test_count))
+    intra_jobs = budget if corpus_jobs == 1 else 1
+    return corpus_jobs, intra_jobs
 
 
 def _init_worker() -> None:
@@ -85,24 +122,31 @@ def _run_task(task: Task) -> CorpusTestResult:
     from ..litmus.parser import parse_litmus
     from ..litmus.runner import run_litmus
 
-    name, source, params, max_states = task
+    name, source, params, max_states, strategy = task
     test = parse_litmus(source)
     try:
         result = run_litmus(
-            test, default_model(), params=params, max_states=max_states
+            test,
+            default_model(),
+            params=params,
+            max_states=max_states,
+            strategy=strategy,
         )
     except ExplorationLimit as limit:
         # A budget-exhausted test is a reportable per-test outcome, not a
         # corpus-wide crash (e.g. IRIW+syncs exceeds the Python budget).
+        # The work done up to exhaustion still counts toward the totals.
         return CorpusTestResult(
             name=name if name else test.name,
             status="StateLimit",
             witnessed=False,
             holds_always=False,
             outcomes=set(),
-            stats=ExplorationStats(),
+            stats=limit.stats if limit.stats is not None else ExplorationStats(),
             error=str(limit),
+            complete=False,
         )
+    complete = result.exploration.complete
     return CorpusTestResult(
         name=name if name else test.name,
         status=result.status,
@@ -110,6 +154,8 @@ def _run_task(task: Task) -> CorpusTestResult:
         holds_always=result.holds_always,
         outcomes=result.outcomes,
         stats=result.exploration.stats,
+        error=None if complete else "state budget exhausted (partial outcomes)",
+        complete=complete,
     )
 
 
@@ -118,22 +164,34 @@ def explore_corpus(
     jobs: Optional[int] = None,
     params: ModelParams = DEFAULT_PARAMS,
     max_states: Optional[int] = None,
+    strategy=None,
 ) -> CorpusReport:
     """Exhaustively run a corpus of litmus tests, sharded across workers.
 
-    ``items`` is a sequence of (name, litmus source) pairs; ``jobs`` defaults
-    to the machine's CPU count.  ``jobs=1`` (or a single test) runs inline in
-    this process -- same results, no pool overhead.
+    ``items`` is a sequence of (name, litmus source) pairs; ``jobs`` is
+    the total worker budget (default: usable CPU count), split between
+    per-test sharding and intra-test frontier workers by
+    ``plan_worker_budget``.  ``strategy`` picks the per-test search
+    backend (name or ``SearchStrategy``; default sequential DFS).
+    ``jobs=1`` (or a single test) runs inline in this process -- same
+    results, no pool overhead.
     """
-    resolved_jobs = jobs if jobs is not None else default_job_count()
-    if resolved_jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {resolved_jobs}")
+    budget = jobs if jobs is not None else default_job_count()
+    tasks_source = list(items)
+    corpus_jobs, intra_jobs = plan_worker_budget(budget, len(tasks_source))
+    strategy = resolve_strategy(strategy)
+    if isinstance(strategy, ShardedParallel):
+        if corpus_jobs > 1:
+            # Daemonic pool workers may not fork; the corpus shards win.
+            strategy = dataclasses.replace(strategy, jobs=1)
+        elif strategy.jobs is None:
+            strategy = dataclasses.replace(strategy, jobs=intra_jobs)
     tasks: List[Task] = [
-        (name, source, params, max_states) for name, source in items
+        (name, source, params, max_states, strategy)
+        for name, source in tasks_source
     ]
-    resolved_jobs = min(resolved_jobs, max(1, len(tasks)))
     started = time.perf_counter()
-    if resolved_jobs == 1:
+    if corpus_jobs == 1:
         results = [_run_task(task) for task in tasks]
     else:
         import multiprocessing
@@ -145,10 +203,10 @@ def explore_corpus(
             # Parse the ISA model once here; forked workers inherit it.
             _init_worker()
         with context.Pool(
-            processes=resolved_jobs, initializer=_init_worker
+            processes=corpus_jobs, initializer=_init_worker
         ) as pool:
             # Per-test granularity (chunksize=1): state-graph sizes vary by
             # orders of magnitude, so fine-grained scheduling load-balances.
             results = pool.map(_run_task, tasks, chunksize=1)
     wall = time.perf_counter() - started
-    return CorpusReport(results=results, jobs=resolved_jobs, wall_seconds=wall)
+    return CorpusReport(results=results, jobs=corpus_jobs, wall_seconds=wall)

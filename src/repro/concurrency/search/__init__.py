@@ -1,0 +1,106 @@
+"""Pluggable search strategies for the exhaustive oracle.
+
+The oracle's two questions -- all reachable outcomes, or one witnessing
+execution -- are answered by interchangeable ``SearchStrategy``
+backends over a single unified DFS driver (``core.run_search``):
+
+* ``SequentialDFS`` -- the reference single-process engine,
+  bit-identical to the historical ``explore``/``find_witness``;
+* ``ShardedParallel`` -- intra-test multiprocessing: the frontier is
+  split at a configurable depth into subtree shards owned by forked
+  workers (key-hash partitioning), outcome sets and stats merged on
+  join;
+* ``BoundedIterative`` -- growing-state-budget iterative deepening that
+  returns partial outcome sets flagged ``complete=False`` instead of
+  raising ``ExplorationLimit`` mid-search.
+
+``resolve_strategy`` turns ``None`` / a name / an instance into a
+strategy; ``make_strategy`` builds one by name with tuning options
+(the CLI's ``--strategy`` / ``--shard-depth``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from .base import SearchStrategy
+from .bounded import BoundedIterative
+from .core import (
+    ExplorationLimit,
+    ExplorationResult,
+    ExplorationStats,
+    Frontier,
+    Outcome,
+    Witness,
+    outcome_of,
+    registers_of_interest,
+    replay_index_path,
+    run_search,
+)
+from .sequential import SequentialDFS
+from .sharded import ShardedParallel
+
+#: Name -> class registry for the CLI and corpus-worker protocol.
+STRATEGIES: Dict[str, Type[SearchStrategy]] = {
+    SequentialDFS.name: SequentialDFS,
+    ShardedParallel.name: ShardedParallel,
+    BoundedIterative.name: BoundedIterative,
+}
+
+
+def make_strategy(
+    name: str,
+    jobs: Optional[int] = None,
+    shard_depth: Optional[int] = None,
+    initial_budget: Optional[int] = None,
+) -> SearchStrategy:
+    """Build a strategy by registry name, applying only relevant options."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown search strategy {name!r} "
+            f"(choose from {sorted(STRATEGIES)})"
+        ) from None
+    if cls is ShardedParallel:
+        options = {}
+        if jobs is not None:
+            options["jobs"] = jobs
+        if shard_depth is not None:
+            options["shard_depth"] = shard_depth
+        return ShardedParallel(**options)
+    if cls is BoundedIterative and initial_budget is not None:
+        return BoundedIterative(initial_budget=initial_budget)
+    return cls()
+
+
+def resolve_strategy(spec=None, **options) -> SearchStrategy:
+    """Coerce ``None`` / a name / a ``SearchStrategy`` into a strategy."""
+    if spec is None:
+        return SequentialDFS()
+    if isinstance(spec, SearchStrategy):
+        return spec
+    if isinstance(spec, str):
+        return make_strategy(spec, **options)
+    raise TypeError(f"not a search strategy: {spec!r}")
+
+
+__all__ = [
+    "BoundedIterative",
+    "ExplorationLimit",
+    "ExplorationResult",
+    "ExplorationStats",
+    "Frontier",
+    "Outcome",
+    "STRATEGIES",
+    "SearchStrategy",
+    "SequentialDFS",
+    "ShardedParallel",
+    "Witness",
+    "make_strategy",
+    "outcome_of",
+    "registers_of_interest",
+    "replay_index_path",
+    "resolve_strategy",
+    "run_search",
+]

@@ -1,0 +1,344 @@
+"""Shared machinery of the pluggable search subsystem.
+
+The exhaustive oracle used to live as two near-identical ~50-line DFS
+loops in ``concurrency/exhaustive.py`` (``explore`` and ``find_witness``).
+This module is the single search driver both modes -- and every strategy
+backend -- now run on:
+
+  * ``Frontier`` -- DFS stack + seen-set bookkeeping with state-budget
+    accounting (optionally over a caller-owned seen set, which the
+    sharded backend uses to share one dedup set across subtree roots);
+  * ``run_search`` -- the unified loop, parameterised by a *visitor*
+    (``CollectOutcomes`` for explore, ``StopOnWitness`` for witness
+    searches) and an optional payload extender (transition traces for
+    witnesses, transition-index paths for worker-side searches);
+  * the result vocabulary: ``ExplorationStats`` / ``ExplorationResult``
+    (now with an explicit ``complete`` flag for budget-bounded partial
+    results), ``Witness``, ``ExplorationLimit`` (now carrying the
+    partial ``stats`` so budget exhaustion no longer zeroes the work
+    accounting), and the outcome summarisers.
+
+The sequential strategy drives this loop directly and is bit-identical
+-- states visited, transitions taken, outcomes -- to the pre-refactor
+engine; the other backends recompose the same pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..system import SystemState, Transition
+from ..thread import ModelError
+
+#: An outcome: ((tid, reg, value-int-or-None) ...) + ((addr,size,value) ...).
+Outcome = Tuple[Tuple, Tuple]
+
+
+class ExplorationLimit(Exception):
+    """The state budget was exhausted before the search completed.
+
+    ``stats`` carries the accounting of the work done up to the point of
+    exhaustion (``None`` only for hand-raised instances), so callers can
+    fold partial searches into corpus totals instead of zeroing them.
+    """
+
+    def __init__(self, message: str, stats: Optional["ExplorationStats"] = None):
+        super().__init__(message)
+        self.stats = stats
+
+
+@dataclass
+class ExplorationStats:
+    states_visited: int = 0
+    transitions_taken: int = 0
+    final_states: int = 0
+    deadlocks: int = 0
+    max_frontier: int = 0
+    seconds: float = 0.0
+
+    def merge(self, other: "ExplorationStats") -> None:
+        """Fold another search's accounting into this one (corpus totals)."""
+        self.states_visited += other.states_visited
+        self.transitions_taken += other.transitions_taken
+        self.final_states += other.final_states
+        self.deadlocks += other.deadlocks
+        self.max_frontier = max(self.max_frontier, other.max_frontier)
+        self.seconds += other.seconds
+
+
+@dataclass
+class ExplorationResult:
+    outcomes: Set[Outcome]
+    stats: ExplorationStats
+    deadlock_states: List[SystemState] = field(default_factory=list)
+    #: False when the search returned a *partial* outcome set because a
+    #: state budget ran out (``BoundedIterative``); the outcome set is
+    #: then a sound under-approximation, not the envelope.
+    complete: bool = True
+
+    def register_outcomes(self) -> Set[Tuple]:
+        """Just the register parts of the outcomes."""
+        return {registers for registers, _memory in self.outcomes}
+
+
+@dataclass
+class Witness:
+    """A witnessing execution: the abstract-machine trace plus statistics.
+
+    Unpackable, indexable and sized as the ``(trace, final_state)``
+    two-tuple that ``find_witness`` originally returned.
+    """
+
+    trace: List[Transition]
+    final_state: SystemState
+    stats: ExplorationStats
+
+    def __iter__(self) -> Iterator:
+        yield self.trace
+        yield self.final_state
+
+    def __getitem__(self, index):
+        return (self.trace, self.final_state)[index]
+
+    def __len__(self) -> int:
+        return 2
+
+
+class Frontier:
+    """DFS frontier + seen-set bookkeeping shared by the search modes.
+
+    Each stack entry is a (state, payload) pair; explore-mode searches
+    carry no payload, witness searches carry the transition path.
+    Popping counts a visited state against the budget; pushing applies a
+    transition, counts it, and deduplicates the successor against the
+    seen keys.  ``seen`` lets a caller share one dedup set across
+    several searches (the sharded backend's per-worker partition).
+    """
+
+    def __init__(self, initial: SystemState, payload, limit: int,
+                 stats: ExplorationStats, seen: Optional[Set] = None):
+        self.limit = limit
+        self.stats = stats
+        self.stack: List[Tuple[SystemState, object]] = [(initial, payload)]
+        if seen is None:
+            self.seen: Set = {initial.key()}
+        else:
+            seen.add(initial.key())
+            self.seen = seen
+
+    def __bool__(self) -> bool:
+        return bool(self.stack)
+
+    def pop(self) -> Tuple[SystemState, object]:
+        stats = self.stats
+        stats.max_frontier = max(stats.max_frontier, len(self.stack))
+        state, payload = self.stack.pop()
+        stats.states_visited += 1
+        if stats.states_visited > self.limit:
+            raise ExplorationLimit(
+                f"exceeded {self.limit} states; increase params.max_states",
+                stats,
+            )
+        return state, payload
+
+    def push(self, state: SystemState, transition: Transition,
+             payload) -> None:
+        successor = state.apply(transition)
+        self.stats.transitions_taken += 1
+        key = successor.key()
+        if key not in self.seen:
+            self.seen.add(key)
+            self.stack.append((successor, payload))
+
+
+def registers_of_interest(
+    system: SystemState,
+    static_cache: Optional[Dict[int, FrozenSet[str]]] = None,
+) -> List[Tuple[int, str]]:
+    """(tid, register) pairs whose final values describe an outcome.
+
+    The static output registers of an instance depend only on its fetch
+    address (program memory is fixed for the whole exploration), so they are
+    computed once per address and cached across the search's final states;
+    each state only extends the set with its dynamically discovered writes.
+    """
+    if static_cache is None:
+        static_cache = {}
+    names: List[Tuple[int, str]] = []
+    for tid, thread in sorted(system.threads.items()):
+        seen = set(thread.initial_registers)
+        for instance in thread.instances.values():
+            for record in instance.reg_writes:
+                seen.add(record.slice.reg)
+            static = static_cache.get(instance.address)
+            if static is None:
+                static = frozenset(
+                    out.reg for out in instance.static_fp.regs_out
+                )
+                static_cache[instance.address] = static
+            seen.update(static)
+        for name in sorted(seen):
+            names.append((tid, name))
+    return names
+
+
+def outcome_of(
+    system: SystemState,
+    memory_cells: Iterable[Tuple[int, int]],
+    static_cache: Optional[Dict[int, FrozenSet[str]]] = None,
+) -> List[Outcome]:
+    registers = []
+    for tid, name in registers_of_interest(system, static_cache):
+        value = system.threads[tid].final_register_value(system.model, name)
+        registers.append(
+            (tid, name, value.to_int() if value.is_known else None)
+        )
+    register_part = tuple(registers)
+    cells = list(memory_cells)
+    if not cells:
+        return [(register_part, ())]
+    outcomes = []
+    for memory in system.final_memory(cells):
+        memory_part = tuple(
+            (addr, size, memory[(addr, size)]) for addr, size in cells
+        )
+        outcomes.append((register_part, memory_part))
+    return outcomes
+
+
+class CollectOutcomes:
+    """Explore-mode visitor: accumulate every final state's outcomes."""
+
+    def __init__(self, cells: Tuple[Tuple[int, int], ...],
+                 collect_deadlocks: bool = False,
+                 static_cache: Optional[Dict] = None):
+        self.cells = cells
+        self.collect_deadlocks = collect_deadlocks
+        self.static_cache = static_cache if static_cache is not None else {}
+        self.outcomes: Set[Outcome] = set()
+        self.deadlock_states: List[SystemState] = []
+
+    def on_final(self, state: SystemState, payload) -> None:
+        self.outcomes.update(outcome_of(state, self.cells, self.static_cache))
+        return None
+
+    def on_deadlock(self, state: SystemState) -> None:
+        if self.collect_deadlocks:
+            self.deadlock_states.append(state)
+
+
+class StopOnWitness:
+    """Witness-mode visitor: stop at the first satisfying final state."""
+
+    def __init__(self, predicate, cells: Tuple[Tuple[int, int], ...],
+                 static_cache: Optional[Dict] = None):
+        self.predicate = predicate
+        self.cells = cells
+        self.static_cache = static_cache if static_cache is not None else {}
+
+    def on_final(self, state: SystemState, payload):
+        for outcome in outcome_of(state, self.cells, self.static_cache):
+            if self.predicate(outcome):
+                return (state, payload)
+        return None
+
+    def on_deadlock(self, state: SystemState) -> None:
+        pass
+
+
+#: Payload extender building a transition trace (sequential witnesses).
+def extend_trace(path, transition, _index):
+    return path + (transition,)
+
+
+#: Payload extender building a transition-*index* path -- picklable, and
+#: deterministically replayable because transition enumeration is a pure
+#: function of the state (the sharded backend ships these across workers).
+def extend_index_path(path, _transition, index):
+    return path + (index,)
+
+
+def run_search(
+    initial: SystemState,
+    visitor,
+    *,
+    limit: int,
+    stats: ExplorationStats,
+    strict_deadlocks: bool,
+    payload=None,
+    extend: Optional[Callable] = None,
+    seen: Optional[Set] = None,
+):
+    """The unified DFS loop behind every search mode.
+
+    Pops states, summarises finals through the visitor (a non-``None``
+    visitor result stops the search and is returned), counts deadlocked
+    coherence-constrained paths, and pushes successors.  With
+    ``strict_deadlocks`` a stuck non-final state raises ``ModelError``
+    (explore mode); without it the path is abandoned (witness mode, which
+    historically skipped such states).  ``extend`` builds child payloads;
+    ``None`` propagates no payload (explore mode).
+    """
+    frontier = Frontier(initial, payload, limit, stats, seen=seen)
+    while frontier:
+        state, path = frontier.pop()
+        if state.is_final():
+            # Residual propagate/ack transitions only add coherence edges;
+            # the final-memory enumeration over linear extensions of the
+            # current partial order already covers every continuation.
+            stats.final_states += 1
+            found = visitor.on_final(state, path)
+            if found is not None:
+                return found
+            continue
+        transitions = state.enumerate_transitions()
+        if not transitions:
+            if state.threads_finished():
+                # Threads complete but some write cannot reach its coherence
+                # point (a barrier-induced cycle): a dead path representing
+                # coherence choices no hardware execution can realise.
+                stats.deadlocks += 1
+                visitor.on_deadlock(state)
+                continue
+            if strict_deadlocks:
+                raise ModelError(
+                    "deadlock: no transitions from a non-final state\n"
+                    + state.render()
+                )
+            continue
+        if extend is None:
+            for transition in transitions:
+                frontier.push(state, transition, None)
+        else:
+            for index, transition in enumerate(transitions):
+                frontier.push(state, transition, extend(path, transition, index))
+    return None
+
+
+def replay_index_path(
+    initial: SystemState, indexes: Iterable[int]
+) -> Tuple[List[Transition], SystemState]:
+    """Rebuild the transition trace behind a transition-index path.
+
+    Enumeration order is deterministic, so replaying the indexes from the
+    same initial state reproduces the worker's exact trace.
+    """
+    trace: List[Transition] = []
+    state = initial
+    for index in indexes:
+        transitions = state.enumerate_transitions()
+        transition = transitions[index]
+        trace.append(transition)
+        state = state.apply(transition)
+    return trace, state

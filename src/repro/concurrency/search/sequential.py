@@ -1,0 +1,79 @@
+"""The reference backend: single-process depth-first search.
+
+``SequentialDFS`` is the pre-refactor engine re-expressed over the
+unified driver: states visited, transitions taken, final states,
+deadlocks and outcome sets are bit-identical to the historical
+``explore``/``find_witness`` loops (asserted by
+``tests/test_search_strategies.py`` against the recorded E6 numbers and
+by the fast-state-engine regression tests).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from .base import SearchStrategy
+from .core import (
+    CollectOutcomes,
+    ExplorationResult,
+    ExplorationStats,
+    StopOnWitness,
+    Witness,
+    extend_trace,
+    run_search,
+)
+from ..system import SystemState
+
+
+@dataclass(frozen=True)
+class SequentialDFS(SearchStrategy):
+    """Memoised in-process DFS -- the baseline every backend must match."""
+
+    name = "sequential"
+
+    def explore(
+        self,
+        initial: SystemState,
+        memory_cells: Iterable[Tuple[int, int]] = (),
+        max_states: Optional[int] = None,
+        collect_deadlocks: bool = False,
+    ) -> ExplorationResult:
+        limit = self.resolve_limit(initial, max_states)
+        stats = ExplorationStats()
+        visitor = CollectOutcomes(tuple(memory_cells), collect_deadlocks)
+        started = time.perf_counter()
+        run_search(
+            initial, visitor, limit=limit, stats=stats, strict_deadlocks=True
+        )
+        stats.seconds = time.perf_counter() - started
+        return ExplorationResult(
+            visitor.outcomes, stats, visitor.deadlock_states
+        )
+
+    def find_witness(
+        self,
+        initial: SystemState,
+        predicate,
+        memory_cells: Iterable[Tuple[int, int]] = (),
+        max_states: Optional[int] = None,
+    ) -> Optional[Witness]:
+        limit = self.resolve_limit(initial, max_states)
+        stats = ExplorationStats()
+        visitor = StopOnWitness(predicate, tuple(memory_cells))
+        started = time.perf_counter()
+        found = run_search(
+            initial,
+            visitor,
+            limit=limit,
+            stats=stats,
+            strict_deadlocks=False,
+            payload=(),
+            extend=extend_trace,
+        )
+        stats.seconds = time.perf_counter() - started
+        if found is None:
+            return None
+        state, path = found
+        return Witness(list(path), state, stats)

@@ -1,0 +1,475 @@
+"""Intra-test parallel exploration: sharded-frontier multiprocessing DFS.
+
+One litmus test's state graph is explored by several OS processes:
+
+1. *Prefix expansion.*  The parent runs a breadth-first expansion of the
+   graph down to ``shard_depth`` levels, deduplicating against a shared
+   seen-set and summarising any final/deadlocked states it meets.  The
+   surviving leaves are the *subtree roots*.
+2. *Key-hash partitioning.*  Each root is assigned to the worker that
+   owns its state key's hash partition (``hash(key) % jobs``), so
+   ownership is a pure function of the state, not of scheduling order.
+3. *Worker DFS.*  Workers are forked (the ``fork`` start method is
+   required: subtree root states and the prefix seen-set are inherited
+   by memory, never pickled), and each runs the ordinary sequential
+   driver over its roots with ONE worker-local seen-set seeded from the
+   prefix, so duplicates *within* a partition are explored once.
+4. *Join.*  Outcome sets (plain picklable tuples) and
+   ``ExplorationStats`` come back over per-worker pipes (EOF on a pipe
+   means the worker died without reporting -- a loud failure, not a
+   hang) and are merged; a state reachable from roots owned by two
+   different workers is explored by both, which costs time but never
+   changes the result because outcomes merge as sets.
+
+Determinism argument: the prefix expansion and every worker DFS are
+deterministic, and the only cross-worker effects are set unions and
+commutative counter merges, so verdicts and outcome sets are identical
+to ``SequentialDFS`` regardless of scheduling (and of the hash seed,
+which only moves work between partitions).  Work *accounting* is not
+bit-stable: cross-partition duplicates and scheduling skew make
+``states_visited``/``transitions_taken`` an honest measure of work done,
+not of unique states.
+
+The state budget is enforced per shard: the prefix charges the shared
+budget, and each worker may visit up to the remaining budget in its own
+partition, so a sharded run can do up to ``jobs`` times the sequential
+work before giving up -- budget exhaustion still raises
+``ExplorationLimit`` (with merged partial stats attached).
+
+Witness searches ship transition-*index* paths back from workers and
+replay them in the parent (enumeration is deterministic), so traces
+never need to be picklable.  When sharding is impossible -- one job,
+no ``fork`` start method, already inside a daemonic pool worker, or
+deadlock-state collection requested -- the strategy degrades to
+``SequentialDFS``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set, Tuple
+
+from .base import SearchStrategy
+from .core import (
+    CollectOutcomes,
+    ExplorationLimit,
+    ExplorationResult,
+    ExplorationStats,
+    StopOnWitness,
+    Witness,
+    extend_index_path,
+    extend_trace,
+    replay_index_path,
+    run_search,
+)
+from .sequential import SequentialDFS
+from ..system import SystemState, Transition
+from ..thread import ModelError
+
+#: Parent-side exploration context inherited by forked workers:
+#: (roots, prefix seen-set, cells, per-worker limit, predicate).
+_SHARD_CONTEXT = None
+
+
+def _shard_worker(worker_id: int, root_indexes: List[int], mode: str,
+                  connection):
+    """Worker body: DFS over the owned subtree roots, one local seen-set.
+
+    The report is the worker's last act; the connection's write end then
+    closes with the process, so the parent sees EOF -- not a hang -- if
+    the worker dies before (or while) reporting.
+    """
+    roots, prefix_seen, cells, limit, predicate = _SHARD_CONTEXT
+    stats = ExplorationStats()
+    seen = set(prefix_seen)
+    if mode == "explore":
+        visitor = CollectOutcomes(cells)
+        try:
+            for index in root_indexes:
+                run_search(
+                    roots[index][1],
+                    visitor,
+                    limit=limit,
+                    stats=stats,
+                    strict_deadlocks=True,
+                    seen=seen,
+                )
+            connection.send(("ok", visitor.outcomes, stats, None))
+        except ExplorationLimit as exc:
+            connection.send(("limit", visitor.outcomes, stats, str(exc)))
+        except BaseException as exc:
+            connection.send(("error", visitor.outcomes, stats, repr(exc)))
+        return
+    visitor = StopOnWitness(predicate, cells)
+    try:
+        for index in root_indexes:
+            found = run_search(
+                roots[index][1],
+                visitor,
+                limit=limit,
+                stats=stats,
+                strict_deadlocks=False,
+                payload=(),
+                extend=extend_index_path,
+                seen=seen,
+            )
+            if found is not None:
+                _state, path = found
+                connection.send(("witness", (index, path), stats, None))
+                return
+        connection.send(("ok", None, stats, None))
+    except ExplorationLimit as exc:
+        connection.send(("limit", None, stats, str(exc)))
+    except BaseException as exc:
+        connection.send(("error", None, stats, repr(exc)))
+
+
+@dataclass(frozen=True)
+class ShardedParallel(SearchStrategy):
+    """Fork-based intra-test parallel search over a sharded frontier.
+
+    ``jobs=None`` resolves to the machine's usable CPU count at search
+    time; ``shard_depth`` is how many transition levels the parent
+    expands before handing subtrees to workers (deeper = more, smaller
+    shards = better load balance, more prefix work).
+    """
+
+    jobs: Optional[int] = None
+    shard_depth: int = 3
+
+    name = "sharded"
+
+    # -- plumbing ---------------------------------------------------------
+
+    def effective_jobs(self) -> int:
+        """The worker count a search would actually use (public: the
+        benchmark harness records it to keep entries comparable)."""
+        if self.jobs is not None:
+            return max(1, self.jobs)
+        from ..parallel import default_job_count
+
+        return default_job_count()
+
+    @staticmethod
+    def can_fork() -> bool:
+        """Whether sharding is possible here (public: see effective_jobs)."""
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return False
+        # Daemonic pool workers (the corpus runner's) may not fork
+        # children; degrade to the sequential engine there.
+        return not multiprocessing.current_process().daemon
+
+    def _expand(
+        self,
+        initial: SystemState,
+        visitor,
+        limit: int,
+        stats: ExplorationStats,
+        strict_deadlocks: bool,
+    ):
+        """Breadth-first prefix expansion to ``shard_depth`` levels.
+
+        Returns ``(roots, seen, found)`` where ``roots`` are
+        ``(prefix-trace, state)`` leaves still to be searched, ``seen``
+        is the prefix dedup set, and ``found`` is a non-``None`` visitor
+        stop value (an early witness) if the prefix already decided the
+        search.
+
+        The per-state handling (final summarisation, deadlock
+        accounting, strict-deadlock ModelError, seen-keyed push, budget
+        check) mirrors ``core.run_search`` in breadth-first order and
+        must stay semantically in lock-step with it; the cross-strategy
+        equivalence tests pin the observable agreement.
+        """
+        roots: List[Tuple[Tuple[Transition, ...], SystemState]] = [
+            ((), initial)
+        ]
+        seen: Set = {initial.key()}
+        for _level in range(max(0, self.shard_depth)):
+            next_roots: List[Tuple[Tuple[Transition, ...], SystemState]] = []
+            for trace, state in roots:
+                stats.max_frontier = max(
+                    stats.max_frontier, len(roots) + len(next_roots)
+                )
+                stats.states_visited += 1
+                if stats.states_visited > limit:
+                    raise ExplorationLimit(
+                        f"exceeded {limit} states; "
+                        "increase params.max_states",
+                        stats,
+                    )
+                if state.is_final():
+                    stats.final_states += 1
+                    found = visitor.on_final(state, trace)
+                    if found is not None:
+                        return [], seen, found
+                    continue
+                transitions = state.enumerate_transitions()
+                if not transitions:
+                    if state.threads_finished():
+                        stats.deadlocks += 1
+                        visitor.on_deadlock(state)
+                        continue
+                    if strict_deadlocks:
+                        raise ModelError(
+                            "deadlock: no transitions from a non-final "
+                            "state\n" + state.render()
+                        )
+                    continue
+                for transition in transitions:
+                    successor = state.apply(transition)
+                    stats.transitions_taken += 1
+                    key = successor.key()
+                    if key not in seen:
+                        seen.add(key)
+                        next_roots.append((trace + (transition,), successor))
+            roots = next_roots
+            if not roots:
+                break
+        return roots, seen, None
+
+    def _partition(self, roots, jobs: int) -> List[List[int]]:
+        """Key-hash-partitioned ownership: root -> worker by state key."""
+        bundles: List[List[int]] = [[] for _ in range(jobs)]
+        for index, (_trace, state) in enumerate(roots):
+            bundles[hash(state.key()) % jobs].append(index)
+        return [bundle for bundle in bundles if bundle]
+
+    @staticmethod
+    def _collect(workers):
+        """Yield one report per worker, detecting dead workers as EOF.
+
+        Each worker has a dedicated pipe whose write end only the worker
+        holds (the parent closes its copy right after the fork), so a
+        worker that dies before -- or in the middle of -- sending its
+        report delivers EOF instead of leaving the parent blocked on a
+        half-written message.  ``connection.wait`` multiplexes the
+        still-pending pipes.
+        """
+        from multiprocessing.connection import wait
+
+        pending = {
+            connection: process for process, connection in workers
+        }
+        while pending:
+            for connection in wait(list(pending)):
+                process = pending.pop(connection)
+                try:
+                    yield connection.recv()
+                except EOFError:
+                    process.join()
+                    raise ModelError(
+                        "sharded worker died without reporting "
+                        f"(exit code {process.exitcode})"
+                    ) from None
+
+    @staticmethod
+    def _terminate(workers):
+        """Stop every still-running worker (the search is decided)."""
+        for process, _connection in workers:
+            if process.is_alive():
+                process.terminate()
+
+    @staticmethod
+    def _reap(workers):
+        """Close the read ends, then join every worker.
+
+        Closing first matters on error paths: a sibling worker blocked
+        in ``connection.send`` (payload larger than the pipe buffer)
+        gets ``BrokenPipeError`` and exits instead of deadlocking the
+        ``join``; on the normal path every pipe is already drained and
+        the close is a no-op.
+        """
+        for _process, connection in workers:
+            connection.close()
+        for process, _connection in workers:
+            process.join()
+
+    def _dispatch(self, roots, seen, cells, limit, predicate, mode):
+        """Fork one worker per non-empty partition; return the workers.
+
+        Each entry is a ``(process, read-connection)`` pair; the parent
+        drops its copy of the write end immediately so worker death is
+        observable as EOF on the read end.
+        """
+        import multiprocessing
+
+        global _SHARD_CONTEXT
+        context = multiprocessing.get_context("fork")
+        bundles = self._partition(roots, self.effective_jobs())
+        _SHARD_CONTEXT = (roots, seen, cells, limit, predicate)
+        workers = []
+        try:
+            for worker_id, bundle in enumerate(bundles):
+                receiver, sender = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_shard_worker,
+                    args=(worker_id, bundle, mode, sender),
+                    daemon=False,
+                )
+                process.start()
+                sender.close()
+                workers.append((process, receiver))
+        finally:
+            _SHARD_CONTEXT = None
+        return workers
+
+    # -- the strategy API -------------------------------------------------
+
+    def explore(
+        self,
+        initial: SystemState,
+        memory_cells: Iterable[Tuple[int, int]] = (),
+        max_states: Optional[int] = None,
+        collect_deadlocks: bool = False,
+    ) -> ExplorationResult:
+        jobs = self.effective_jobs()
+        if jobs <= 1 or collect_deadlocks or not self.can_fork():
+            return SequentialDFS().explore(
+                initial, memory_cells, max_states, collect_deadlocks
+            )
+        limit = self.resolve_limit(initial, max_states)
+        cells = tuple(memory_cells)
+        stats = ExplorationStats()
+        visitor = CollectOutcomes(cells)
+        started = time.perf_counter()
+        roots, seen, _found = self._expand(
+            initial, visitor, limit, stats, strict_deadlocks=True
+        )
+        if len(roots) <= 1:
+            # Graph too shallow to shard: finish inline on the shared
+            # seen-set -- same traversal a one-partition worker would do.
+            for _trace, state in roots:
+                run_search(
+                    state,
+                    visitor,
+                    limit=limit,
+                    stats=stats,
+                    strict_deadlocks=True,
+                    seen=seen,
+                )
+            stats.seconds = time.perf_counter() - started
+            return ExplorationResult(visitor.outcomes, stats, [])
+
+        worker_limit = max(1, limit - stats.states_visited)
+        workers = self._dispatch(
+            roots, seen, cells, worker_limit, None, "explore"
+        )
+        outcomes = visitor.outcomes
+        limit_error = None
+        worker_error = None
+        try:
+            for kind, payload, wstats, error in self._collect(workers):
+                stats.merge(wstats)
+                if payload:
+                    outcomes |= payload
+                if kind == "limit" and limit_error is None:
+                    limit_error = error
+                elif kind == "error" and worker_error is None:
+                    worker_error = error
+                    # A worker error decides the whole explore; don't
+                    # let the surviving shards burn CPU for a result
+                    # that will be discarded (stop collecting too --
+                    # terminated workers would only report as EOF).
+                    self._terminate(workers)
+                    break
+        except BaseException:
+            self._terminate(workers)
+            raise
+        finally:
+            self._reap(workers)
+        stats.seconds = time.perf_counter() - started
+        if worker_error is not None:
+            raise ModelError(f"sharded worker failed: {worker_error}")
+        if limit_error is not None:
+            raise ExplorationLimit(limit_error, stats)
+        return ExplorationResult(outcomes, stats, [])
+
+    def find_witness(
+        self,
+        initial: SystemState,
+        predicate,
+        memory_cells: Iterable[Tuple[int, int]] = (),
+        max_states: Optional[int] = None,
+    ) -> Optional[Witness]:
+        jobs = self.effective_jobs()
+        if jobs <= 1 or not self.can_fork():
+            return SequentialDFS().find_witness(
+                initial, predicate, memory_cells, max_states
+            )
+        limit = self.resolve_limit(initial, max_states)
+        cells = tuple(memory_cells)
+        stats = ExplorationStats()
+        visitor = StopOnWitness(predicate, cells)
+        started = time.perf_counter()
+        roots, seen, found = self._expand(
+            initial, visitor, limit, stats, strict_deadlocks=False
+        )
+        if found is not None:
+            state, trace = found
+            stats.seconds = time.perf_counter() - started
+            return Witness(list(trace), state, stats)
+        if len(roots) <= 1:
+            for trace, state in roots:
+                found = run_search(
+                    state,
+                    visitor,
+                    limit=limit,
+                    stats=stats,
+                    strict_deadlocks=False,
+                    payload=trace,
+                    extend=extend_trace,
+                    seen=seen,
+                )
+                if found is not None:
+                    final_state, full_trace = found
+                    stats.seconds = time.perf_counter() - started
+                    return Witness(list(full_trace), final_state, stats)
+            stats.seconds = time.perf_counter() - started
+            return None
+
+        worker_limit = max(1, limit - stats.states_visited)
+        workers = self._dispatch(
+            roots, seen, cells, worker_limit, predicate, "witness"
+        )
+        witness_payload = None
+        limit_error = None
+        worker_error = None
+        try:
+            for kind, payload, wstats, error in self._collect(workers):
+                stats.merge(wstats)
+                if kind == "witness":
+                    witness_payload = payload
+                    # A witness decides the search; stop the other shards.
+                    self._terminate(workers)
+                    break
+                if kind == "limit" and limit_error is None:
+                    limit_error = error
+                elif kind == "error" and worker_error is None:
+                    # Keep collecting: another shard may still produce a
+                    # witness, which decides the search despite the error.
+                    worker_error = error
+        except BaseException:
+            self._terminate(workers)
+            raise
+        finally:
+            self._reap(workers)
+        stats.seconds = time.perf_counter() - started
+        if witness_payload is not None:
+            root_index, index_path = witness_payload
+            prefix_trace, root_state = roots[root_index]
+            subtree_trace, final_state = replay_index_path(
+                root_state, index_path
+            )
+            return Witness(
+                list(prefix_trace) + subtree_trace, final_state, stats
+            )
+        if worker_error is not None:
+            raise ModelError(f"sharded worker failed: {worker_error}")
+        if limit_error is not None:
+            # No shard found a witness but one gave up: inconclusive.
+            raise ExplorationLimit(limit_error, stats)
+        return None

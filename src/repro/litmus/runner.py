@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..concurrency.exhaustive import ExplorationResult, explore
+from ..concurrency.exhaustive import ExplorationResult
 from ..concurrency.params import DEFAULT_PARAMS, ModelParams
+from ..concurrency.search import resolve_strategy
 from ..concurrency.system import SystemState
 from ..isa.assembler import Assembler
 from ..isa.model import IsaModel, default_model
@@ -41,12 +42,33 @@ class LitmusResult:
 
     @property
     def status(self) -> str:
-        """The model's verdict in litmus terms."""
-        if self.test.quantifier == "exists":
-            return "Allowed" if self.witnessed else "Forbidden"
-        if self.test.quantifier == "not exists":
-            return "Forbidden" if self.witnessed else "Validated"
-        return "Always" if self.holds_always else "Sometimes"
+        """The model's verdict in litmus terms.
+
+        A partial outcome set (budget-bounded search) is a sound
+        *under*-approximation of the envelope: outcomes in it are
+        genuinely reachable, so existential verdicts -- a witness was
+        found, or a forall condition has a concrete counterexample --
+        survive incompleteness.  Universal claims (nothing witnesses /
+        every outcome satisfies) need the whole envelope and degrade to
+        "StateLimit".
+        """
+        if self.exploration.complete:
+            if self.test.quantifier == "exists":
+                return "Allowed" if self.witnessed else "Forbidden"
+            if self.test.quantifier == "not exists":
+                return "Forbidden" if self.witnessed else "Validated"
+            return "Always" if self.holds_always else "Sometimes"
+        if self.test.quantifier == "exists" and self.witnessed:
+            return "Allowed"
+        if self.test.quantifier == "not exists" and self.witnessed:
+            return "Forbidden"
+        if (
+            self.test.quantifier not in ("exists", "not exists")
+            and self.outcomes
+            and not self.holds_always
+        ):
+            return "Sometimes"
+        return "StateLimit"
 
     def outcome_table(self) -> List[Tuple[str, bool]]:
         """Human-readable outcome lines plus condition verdicts."""
@@ -137,8 +159,15 @@ def run_litmus(
     model: Optional[IsaModel] = None,
     params: ModelParams = DEFAULT_PARAMS,
     max_states: Optional[int] = None,
+    strategy=None,
 ) -> LitmusResult:
-    """Exhaustively run one litmus test and evaluate its condition."""
+    """Exhaustively run one litmus test and evaluate its condition.
+
+    ``strategy`` picks the search backend (a ``SearchStrategy`` instance
+    or registry name; default sequential DFS) -- e.g.
+    ``ShardedParallel(jobs=4)`` forks the test's own frontier across
+    worker processes.
+    """
     model = model if model is not None else default_model()
     system, addresses = build_system(test, model, params)
     cell_size = 8 if test.doubleword else 4
@@ -148,7 +177,9 @@ def run_litmus(
         (addresses[var], cell_size)
         for var in sorted(set(condition_locations(test.condition)))
     ]
-    result = explore(system, memory_cells=cells, max_states=max_states)
+    result = resolve_strategy(strategy).explore(
+        system, memory_cells=cells, max_states=max_states
+    )
 
     witnessed = False
     holds_always = bool(result.outcomes)
@@ -180,15 +211,18 @@ def run_corpus(
     jobs: Optional[int] = None,
     params: ModelParams = DEFAULT_PARAMS,
     max_states: Optional[int] = None,
+    strategy=None,
 ):
     """Exhaustively run a corpus of litmus tests across worker processes.
 
     ``entries`` may hold ``CorpusEntry``-like objects (anything with
     ``name``/``source`` attributes) or plain ``(name, source)`` pairs;
-    ``None`` runs the built-in corpus.  Tests are sharded per test across
-    ``jobs`` workers (default: CPU count); returns a
-    ``repro.concurrency.parallel.CorpusReport`` with per-test verdicts and
-    merged ``ExplorationStats``.
+    ``None`` runs the built-in corpus.  ``jobs`` is the total worker
+    budget (default: usable CPU count), split between per-test sharding
+    and -- for a single test with a ``ShardedParallel`` strategy --
+    intra-test frontier workers; ``strategy`` picks each test's search
+    backend.  Returns a ``repro.concurrency.parallel.CorpusReport`` with
+    per-test verdicts and merged ``ExplorationStats``.
     """
     from ..concurrency.parallel import explore_corpus
 
@@ -202,4 +236,10 @@ def run_corpus(
             items.append(entry)
         else:
             items.append((entry.name, entry.source))
-    return explore_corpus(items, jobs=jobs, params=params, max_states=max_states)
+    return explore_corpus(
+        items,
+        jobs=jobs,
+        params=params,
+        max_states=max_states,
+        strategy=strategy,
+    )

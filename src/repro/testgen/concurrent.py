@@ -296,12 +296,16 @@ def check_suite(
     jobs: Optional[int] = None,
     params: ModelParams = DEFAULT_PARAMS,
     max_states: Optional[int] = 150_000,
+    strategy=None,
 ) -> OracleReport:
     """Run a generated suite and check every envelope invariant.
 
-    Tests are sharded across ``jobs`` worker processes through
-    ``litmus.runner.run_corpus``; ``max_states`` bounds each test's
-    exploration (combinatorial blowups become skips, not failures).
+    Tests are sharded across a ``jobs`` worker budget through
+    ``litmus.runner.run_corpus``; ``strategy`` picks each test's search
+    backend (``BoundedIterative`` turns combinatorial blowups into
+    partial-outcome "StateLimit" skips with real work accounting);
+    ``max_states`` bounds each test's exploration (blowups become skips,
+    not failures).
     """
     from ..litmus.runner import run_corpus
 
@@ -310,6 +314,7 @@ def check_suite(
         jobs=jobs,
         params=params,
         max_states=max_states,
+        strategy=strategy,
     )
     checks: List[OracleCheck] = []
     for test, result in zip(tests, report.results):

@@ -10,6 +10,11 @@ Modes:
     (``--check --jobs J`` oracle-checks it against envelope invariants)
   * ``ppcmem2 elf BINARY``               -- sequential execution of an ELF
 
+``run``, ``corpus``, ``litmus`` and ``gen`` take ``--strategy
+{sequential,sharded,bounded}`` (plus ``--shard-depth``) to pick the
+search backend; ``sharded`` forks a single test's frontier across worker
+processes (``run --jobs N``, or ``litmus FILE --jobs N`` with one file).
+
 The interactive mode shows Fig. 3-style system states: storage subsystem
 contents (writes seen, coherence, propagation lists, unacknowledged syncs)
 plus each thread's instruction instances with their static footprints, and
@@ -22,11 +27,39 @@ import argparse
 import sys
 from typing import List, Optional
 
-from ..concurrency.exhaustive import explore
+from ..concurrency.search import STRATEGIES, make_strategy
 from ..isa.model import default_model
 from ..litmus.library import corpus
 from ..litmus.parser import parse_litmus
 from ..litmus.runner import build_system, run_litmus
+
+
+def _add_strategy_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--strategy",
+        choices=sorted(STRATEGIES),
+        default="sequential",
+        help="search backend: sequential DFS, sharded intra-test "
+        "multiprocessing, or bounded iterative deepening "
+        "(default sequential)",
+    )
+    parser.add_argument(
+        "--shard-depth",
+        type=int,
+        default=None,
+        help="frontier split depth for --strategy sharded "
+        "(levels expanded before forking workers)",
+    )
+
+
+def _strategy_from(args):
+    if args.shard_depth is not None and args.strategy != "sharded":
+        print(
+            f"warning: --shard-depth only applies to --strategy sharded; "
+            f"ignored for {args.strategy}",
+            file=sys.stderr,
+        )
+    return make_strategy(args.strategy, shard_depth=args.shard_depth)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -38,6 +71,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     run_parser = sub.add_parser("run", help="exhaustively run a litmus test")
     run_parser.add_argument("test", help="path to a .litmus file")
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="intra-test frontier workers for --strategy sharded "
+        "(default: CPU count)",
+    )
+    _add_strategy_args(run_parser)
 
     inter_parser = sub.add_parser(
         "interactive", help="step through a litmus test's transitions"
@@ -53,6 +94,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=1,
         help="number of worker processes (default 1: run in-process)",
     )
+    _add_strategy_args(corpus_parser)
 
     litmus_parser = sub.add_parser(
         "litmus",
@@ -75,6 +117,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     litmus_parser.add_argument(
         "--max-states", type=int, default=None, help="state budget per test"
     )
+    _add_strategy_args(litmus_parser)
 
     gen_parser = sub.add_parser(
         "gen",
@@ -112,6 +155,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=150000,
         help="state budget per test for --check (default 150000)",
     )
+    _add_strategy_args(gen_parser)
 
     elf_parser = sub.add_parser("elf", help="run an ELF binary sequentially")
     elf_parser.add_argument("binary", help="path to a Power64 ELF executable")
@@ -121,13 +165,33 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
     if args.command == "run":
-        return _cmd_run(args.test)
+        from ..concurrency.search import ShardedParallel
+
+        strategy = _strategy_from(args)
+        if isinstance(strategy, ShardedParallel):
+            if args.jobs is not None:
+                import dataclasses
+
+                strategy = dataclasses.replace(strategy, jobs=args.jobs)
+        elif args.jobs is not None:
+            print(
+                "warning: run --jobs only applies to --strategy sharded; "
+                "running single-process",
+                file=sys.stderr,
+            )
+        return _cmd_run(args.test, strategy)
     if args.command == "interactive":
         return _cmd_interactive(args.test)
     if args.command == "corpus":
-        return _cmd_corpus(args.jobs)
+        return _cmd_corpus(args.jobs, _strategy_from(args))
     if args.command == "litmus":
-        return _cmd_litmus(args.tests, args.corpus, args.jobs, args.max_states)
+        return _cmd_litmus(
+            args.tests,
+            args.corpus,
+            args.jobs,
+            args.max_states,
+            _strategy_from(args),
+        )
     if args.command == "gen":
         return _cmd_gen(args)
     if args.command == "elf":
@@ -135,10 +199,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 2
 
 
-def _cmd_run(path: str) -> int:
+def _cmd_run(path: str, strategy=None) -> int:
     with open(path) as handle:
         test = parse_litmus(handle.read())
-    result = run_litmus(test)
+    result = run_litmus(test, strategy=strategy)
     print(f"Test {test.name}: {result.status}")
     print(
         f"States: {result.exploration.stats.states_visited}  "
@@ -187,18 +251,23 @@ def _cmd_interactive(path: str) -> int:
         step += 1
 
 
-def _cmd_corpus(jobs: int = 1) -> int:
+def _cmd_corpus(jobs: int = 1, strategy=None) -> int:
     entries = corpus()
     sound = True
-    if jobs != 1:
+    if jobs != 1 or (strategy is not None and strategy.name != "sequential"):
+        # Route non-default strategies through run_corpus too, so the
+        # worker-budget policy applies (a bare `--strategy sharded` must
+        # not fork CPU-count workers per test under the default --jobs 1).
         from ..litmus.runner import run_corpus
 
-        report = run_corpus(entries, jobs=jobs)
+        report = run_corpus(entries, jobs=jobs, strategy=strategy)
         statuses = {r.name: r.status for r in report.results}
     else:
         model = default_model()
         statuses = {
-            entry.name: run_litmus(entry.parse(), model).status
+            entry.name: run_litmus(
+                entry.parse(), model, strategy=strategy
+            ).status
             for entry in entries
         }
     for entry in entries:
@@ -214,7 +283,8 @@ def _cmd_corpus(jobs: int = 1) -> int:
     return 0 if sound else 1
 
 
-def _cmd_litmus(paths, include_corpus: bool, jobs, max_states) -> int:
+def _cmd_litmus(paths, include_corpus: bool, jobs, max_states,
+                strategy=None) -> int:
     from ..litmus.runner import run_corpus
 
     entries = []
@@ -225,7 +295,9 @@ def _cmd_litmus(paths, include_corpus: bool, jobs, max_states) -> int:
         entries.append((test.name, source))
     if include_corpus or not entries:
         entries.extend(corpus())
-    report = run_corpus(entries, jobs=jobs, max_states=max_states)
+    report = run_corpus(
+        entries, jobs=jobs, max_states=max_states, strategy=strategy
+    )
     exhausted = 0
     for result in report.results:
         stats = result.stats
@@ -286,7 +358,12 @@ def _cmd_gen(args) -> int:
 
     from ..testgen.concurrent import check_suite
 
-    report = check_suite(tests, jobs=args.jobs, max_states=args.max_states)
+    report = check_suite(
+        tests,
+        jobs=args.jobs,
+        max_states=args.max_states,
+        strategy=_strategy_from(args),
+    )
     # Diagnostics go to stderr: stdout stays a clean litmus stream.
     for check in report.checks:
         verdict = (
