@@ -71,6 +71,16 @@ DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "BENCH_e6.json")
 GEN_SEED = 0
 GEN_SIZE = 12
 
+#: Wide generated-suite benchmark: the lifted generator caps (up to 6
+#: threads / 4-edge runs), a standing workload for the larger families
+#: the axiomatic-solver-backed oracle now decides.  Exploration is
+#: state-bounded: blowups record their partial work, not a crash.
+GEN_WIDE_SEED = 0
+GEN_WIDE_SIZE = 10
+GEN_WIDE_MAX_THREADS = 6
+GEN_WIDE_MAX_RUN = 4
+GEN_WIDE_MAX_STATES = 150_000
+
 
 def _suite_tests(suite):
     """The (name, LitmusTest) pairs of the chosen benchmark suite."""
@@ -80,6 +90,16 @@ def _suite_tests(suite):
         return [(name, by_name(name).parse()) for name in REPRESENTATIVE]
     from repro.litmus.diy import generate
 
+    if suite == "gen-wide":
+        return [
+            (test.name, test.test)
+            for test in generate(
+                GEN_WIDE_SEED,
+                GEN_WIDE_SIZE,
+                max_threads=GEN_WIDE_MAX_THREADS,
+                max_run=GEN_WIDE_MAX_RUN,
+            )
+        ]
     return [
         (test.name, test.test)
         for test in generate(GEN_SEED, GEN_SIZE, max_threads=2)
@@ -88,22 +108,36 @@ def _suite_tests(suite):
 
 def run_suite(model=None, suite="e6", strategy=None):
     """Run one benchmark suite; returns (per_test, total) dicts."""
+    from repro.concurrency.search import ExplorationLimit
     from repro.isa.model import default_model
     from repro.litmus.runner import run_litmus
 
     model = model if model is not None else default_model()
+    max_states = GEN_WIDE_MAX_STATES if suite == "gen-wide" else None
     per_test = {}
     total_states = total_transitions = 0
     total_seconds = 0.0
     for name, test in _suite_tests(suite):
-        result = run_litmus(test, model, strategy=strategy)
-        stats = result.exploration.stats
+        limited = False
+        try:
+            result = run_litmus(
+                test, model, max_states=max_states, strategy=strategy
+            )
+            stats = result.exploration.stats
+        except ExplorationLimit as exc:
+            # Budget exhaustion still did (and accounts) real work.
+            from repro.concurrency.search import ExplorationStats
+
+            stats = exc.stats if exc.stats is not None else ExplorationStats()
+            limited = True
         per_test[name] = {
             "states": stats.states_visited,
             "finals": stats.final_states,
             "transitions": stats.transitions_taken,
             "seconds": round(stats.seconds, 4),
         }
+        if limited:
+            per_test[name]["limit"] = True
         total_states += stats.states_visited
         total_transitions += stats.transitions_taken
         total_seconds += stats.seconds
@@ -127,11 +161,15 @@ def main(argv=None) -> int:
     parser.add_argument("--label", default=None, help="trajectory entry label")
     parser.add_argument(
         "--suite",
-        choices=("e6", "gen"),
+        choices=("e6", "gen", "gen-wide"),
         default="e6",
         help="e6: the representative curated family (default); "
         "gen: the diy-generated two-thread suite "
-        f"(seed {GEN_SEED}, size {GEN_SIZE})",
+        f"(seed {GEN_SEED}, size {GEN_SIZE}); "
+        "gen-wide: the lifted-cap generated suite "
+        f"(seed {GEN_WIDE_SEED}, size {GEN_WIDE_SIZE}, up to "
+        f"{GEN_WIDE_MAX_THREADS} threads / {GEN_WIDE_MAX_RUN}-edge runs, "
+        f"state budget {GEN_WIDE_MAX_STATES})",
     )
     parser.add_argument(
         "--strategy",
@@ -191,13 +229,17 @@ def main(argv=None) -> int:
         # The seed baseline is an E6 measurement; a gen-only trajectory
         # must not start from unrelated e6 numbers.
         trajectory.append(SEED_BASELINE)
+    if args.suite == "e6":
+        default_label = f"run-{len(trajectory)}"
+    elif args.suite == "gen-wide":
+        default_label = (
+            f"gen-wide-seed{GEN_WIDE_SEED}-size{GEN_WIDE_SIZE}"
+            f"-t{GEN_WIDE_MAX_THREADS}r{GEN_WIDE_MAX_RUN}-{len(trajectory)}"
+        )
+    else:
+        default_label = f"gen-seed{GEN_SEED}-size{GEN_SIZE}-{len(trajectory)}"
     entry = {
-        "label": args.label
-        or (
-            f"run-{len(trajectory)}"
-            if args.suite == "e6"
-            else f"gen-seed{GEN_SEED}-size{GEN_SIZE}-{len(trajectory)}"
-        ),
+        "label": args.label or default_label,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "suite": args.suite,
         "strategy": strategy_record,

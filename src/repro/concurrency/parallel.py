@@ -14,12 +14,17 @@ the worker protocol independent of every internal class being picklable.
 (Strategies themselves are frozen dataclasses, picklable by value.)
 
 Corpus-level and intra-test parallelism compose under ONE worker budget
-(``jobs``): with several tests to run, per-test sharding soaks up the
-budget and intra-test search stays sequential (pool workers are daemonic
-and may not fork children); with a single test -- the IRIW+syncs-class
-case where one graph dwarfs the corpus -- the whole budget is handed to
-the test's ``ShardedParallel`` frontier workers instead.
-``plan_worker_budget`` is that policy.
+(``jobs``): per-test sharding soaks up the budget first (at most one
+worker per test), and any leftover is redistributed as intra-test
+frontier workers per corpus worker -- 2 tests under ``--jobs 8`` run as
+two corpus workers sharding four ways each, and a single test (the
+IRIW+syncs-class case where one graph dwarfs the corpus) gets the whole
+budget as ``ShardedParallel`` frontier workers.  ``plan_worker_budget``
+is that policy.  When the plan includes intra sharding, the corpus pool
+is a non-daemonic ``ProcessPoolExecutor`` (plain ``multiprocessing.Pool``
+workers are daemonic and may not fork shard children); inside any worker
+that still cannot fork, ``ShardedParallel`` degrades to sequential
+search.
 """
 
 from __future__ import annotations
@@ -94,16 +99,25 @@ def default_job_count() -> int:
 def plan_worker_budget(budget: int, test_count: int) -> Tuple[int, int]:
     """Split one worker budget into (corpus jobs, intra-test jobs).
 
-    Per-test sharding is near-embarrassingly parallel, so it takes the
-    whole budget whenever there is more than one test (intra-test search
-    then runs sequentially inside the daemonic pool workers, which may
-    not fork children of their own).  A single test gets the budget as
-    intra-test frontier workers instead.
+    Per-test sharding is near-embarrassingly parallel, so corpus jobs
+    soak up the budget first (one worker per test, at most).  Whatever
+    is left over is handed back as intra-test frontier workers *per
+    corpus worker*: with 2 tests and ``--jobs 8`` the plan is
+    ``(2, 4)`` -- two corpus workers, each sharding its test's frontier
+    four ways -- where it used to be ``(2, 1)`` with six workers
+    stranded.  A single test degenerates to ``(1, budget)``.
+
+    The plan is the *budget*, not a promise: intra-test sharding above
+    one job additionally needs workers that may fork children, so
+    ``explore_corpus`` runs multi-worker corpora through a non-daemonic
+    executor when the plan calls for intra sharding, and
+    ``ShardedParallel`` itself degrades to sequential search inside any
+    worker that cannot fork (daemonic pools, no ``fork`` method).
     """
     if budget < 1:
         raise ValueError(f"jobs must be >= 1, got {budget}")
     corpus_jobs = min(budget, max(1, test_count))
-    intra_jobs = budget if corpus_jobs == 1 else 1
+    intra_jobs = max(1, budget // corpus_jobs)
     return corpus_jobs, intra_jobs
 
 
@@ -180,12 +194,21 @@ def explore_corpus(
     tasks_source = list(items)
     corpus_jobs, intra_jobs = plan_worker_budget(budget, len(tasks_source))
     strategy = resolve_strategy(strategy)
+    needs_forking_workers = False
     if isinstance(strategy, ShardedParallel):
-        if corpus_jobs > 1:
-            # Daemonic pool workers may not fork; the corpus shards win.
-            strategy = dataclasses.replace(strategy, jobs=1)
-        elif strategy.jobs is None:
+        if corpus_jobs == 1:
+            if strategy.jobs is None:
+                strategy = dataclasses.replace(strategy, jobs=intra_jobs)
+        elif intra_jobs > 1 and ShardedParallel.can_fork():
+            # Leftover budget becomes per-test frontier workers; the
+            # corpus pool must then be non-daemonic so each worker may
+            # fork its shard children.
             strategy = dataclasses.replace(strategy, jobs=intra_jobs)
+            needs_forking_workers = True
+        else:
+            # No leftover budget (or no fork): intra search runs
+            # sequentially inside the corpus workers.
+            strategy = dataclasses.replace(strategy, jobs=1)
     tasks: List[Task] = [
         (name, source, params, max_states, strategy)
         for name, source in tasks_source
@@ -202,11 +225,24 @@ def explore_corpus(
         if method == "fork":
             # Parse the ISA model once here; forked workers inherit it.
             _init_worker()
-        with context.Pool(
-            processes=corpus_jobs, initializer=_init_worker
-        ) as pool:
-            # Per-test granularity (chunksize=1): state-graph sizes vary by
-            # orders of magnitude, so fine-grained scheduling load-balances.
-            results = pool.map(_run_task, tasks, chunksize=1)
+        # Per-test granularity (chunksize=1): state-graph sizes vary by
+        # orders of magnitude, so fine-grained scheduling load-balances.
+        if needs_forking_workers:
+            # ``multiprocessing.Pool`` workers are daemonic and may not
+            # fork; ``ProcessPoolExecutor`` workers are not, so they can
+            # run the intra-test shard fan-out planned above.
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                max_workers=corpus_jobs,
+                mp_context=context,
+                initializer=_init_worker,
+            ) as executor:
+                results = list(executor.map(_run_task, tasks, chunksize=1))
+        else:
+            with context.Pool(
+                processes=corpus_jobs, initializer=_init_worker
+            ) as pool:
+                results = pool.map(_run_task, tasks, chunksize=1)
     wall = time.perf_counter() - started
     return CorpusReport(results=results, jobs=corpus_jobs, wall_seconds=wall)

@@ -44,10 +44,16 @@ class SequentialDFS(SearchStrategy):
         stats = ExplorationStats()
         visitor = CollectOutcomes(tuple(memory_cells), collect_deadlocks)
         started = time.perf_counter()
-        run_search(
-            initial, visitor, limit=limit, stats=stats, strict_deadlocks=True
-        )
-        stats.seconds = time.perf_counter() - started
+        try:
+            run_search(
+                initial, visitor, limit=limit, stats=stats,
+                strict_deadlocks=True,
+            )
+        finally:
+            # Also on ExplorationLimit: the exception carries this same
+            # stats object, and its partial work must not report zero
+            # seconds (it would inflate downstream throughput numbers).
+            stats.seconds = time.perf_counter() - started
         return ExplorationResult(
             visitor.outcomes, stats, visitor.deadlock_states
         )
@@ -63,16 +69,18 @@ class SequentialDFS(SearchStrategy):
         stats = ExplorationStats()
         visitor = StopOnWitness(predicate, tuple(memory_cells))
         started = time.perf_counter()
-        found = run_search(
-            initial,
-            visitor,
-            limit=limit,
-            stats=stats,
-            strict_deadlocks=False,
-            payload=(),
-            extend=extend_trace,
-        )
-        stats.seconds = time.perf_counter() - started
+        try:
+            found = run_search(
+                initial,
+                visitor,
+                limit=limit,
+                stats=stats,
+                strict_deadlocks=False,
+                payload=(),
+                extend=extend_trace,
+            )
+        finally:
+            stats.seconds = time.perf_counter() - started
         if found is None:
             return None
         state, path = found

@@ -336,23 +336,28 @@ class ShardedParallel(SearchStrategy):
         stats = ExplorationStats()
         visitor = CollectOutcomes(cells)
         started = time.perf_counter()
-        roots, seen, _found = self._expand(
-            initial, visitor, limit, stats, strict_deadlocks=True
-        )
-        if len(roots) <= 1:
-            # Graph too shallow to shard: finish inline on the shared
-            # seen-set -- same traversal a one-partition worker would do.
-            for _trace, state in roots:
-                run_search(
-                    state,
-                    visitor,
-                    limit=limit,
-                    stats=stats,
-                    strict_deadlocks=True,
-                    seen=seen,
-                )
+        try:
+            roots, seen, _found = self._expand(
+                initial, visitor, limit, stats, strict_deadlocks=True
+            )
+            if len(roots) <= 1:
+                # Graph too shallow to shard: finish inline on the shared
+                # seen-set -- same traversal a one-partition worker would do.
+                for _trace, state in roots:
+                    run_search(
+                        state,
+                        visitor,
+                        limit=limit,
+                        stats=stats,
+                        strict_deadlocks=True,
+                        seen=seen,
+                    )
+                return ExplorationResult(visitor.outcomes, stats, [])
+        finally:
+            # Also on ExplorationLimit from the prefix or the inline
+            # search: the exception carries this stats object, and its
+            # partial work must not report zero seconds.
             stats.seconds = time.perf_counter() - started
-            return ExplorationResult(visitor.outcomes, stats, [])
 
         worker_limit = max(1, limit - stats.states_visited)
         workers = self._dispatch(
@@ -405,31 +410,32 @@ class ShardedParallel(SearchStrategy):
         stats = ExplorationStats()
         visitor = StopOnWitness(predicate, cells)
         started = time.perf_counter()
-        roots, seen, found = self._expand(
-            initial, visitor, limit, stats, strict_deadlocks=False
-        )
-        if found is not None:
-            state, trace = found
+        try:
+            roots, seen, found = self._expand(
+                initial, visitor, limit, stats, strict_deadlocks=False
+            )
+            if found is not None:
+                state, trace = found
+                return Witness(list(trace), state, stats)
+            if len(roots) <= 1:
+                for trace, state in roots:
+                    found = run_search(
+                        state,
+                        visitor,
+                        limit=limit,
+                        stats=stats,
+                        strict_deadlocks=False,
+                        payload=trace,
+                        extend=extend_trace,
+                        seen=seen,
+                    )
+                    if found is not None:
+                        final_state, full_trace = found
+                        return Witness(list(full_trace), final_state, stats)
+                return None
+        finally:
+            # Also on ExplorationLimit: see explore() above.
             stats.seconds = time.perf_counter() - started
-            return Witness(list(trace), state, stats)
-        if len(roots) <= 1:
-            for trace, state in roots:
-                found = run_search(
-                    state,
-                    visitor,
-                    limit=limit,
-                    stats=stats,
-                    strict_deadlocks=False,
-                    payload=trace,
-                    extend=extend_trace,
-                    seen=seen,
-                )
-                if found is not None:
-                    final_state, full_trace = found
-                    stats.seconds = time.perf_counter() - started
-                    return Witness(list(full_trace), final_state, stats)
-            stats.seconds = time.perf_counter() - started
-            return None
 
         worker_limit = max(1, limit - stats.states_visited)
         workers = self._dispatch(

@@ -1,17 +1,29 @@
 """Sequential and concurrent test generation plus validation (section 7)."""
 
+from .axiomatic import AxiomaticVerdict, decide
 from .compare import ComparisonResult, SuiteReport, run_differential, run_suite
-from .concurrent import OracleCheck, OracleReport, check_suite, expectation
+from .concurrent import (
+    OracleCheck,
+    OracleReport,
+    check_suite,
+    closure_expectation,
+    expectation,
+    expectation_with_oracle,
+)
 from .sequential import SequentialTest, generate_suite, generate_tests
 
 __all__ = [
+    "AxiomaticVerdict",
     "ComparisonResult",
     "OracleCheck",
     "OracleReport",
     "SequentialTest",
     "SuiteReport",
     "check_suite",
+    "closure_expectation",
+    "decide",
     "expectation",
+    "expectation_with_oracle",
     "generate_suite",
     "generate_tests",
     "run_differential",

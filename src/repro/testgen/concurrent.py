@@ -32,14 +32,18 @@ Cycle-level expectations:
   visibility to lose);
 * some segment not maintained -- Allowed (a critical cycle with one
   relaxed step is observable);
-* otherwise (3+ threads relying on dependency or lwsync cumulativity,
-  e.g. WRC+addrs vs WRC+lwsync+addr) -- no expectation; the curated
-  corpus pins those.
+* otherwise -- the closure abstains (``closure_expectation`` returns
+  ``None``) and ``expectation`` falls back to the axiomatic
+  commit/propagation-order solver (``testgen.axiomatic``), which
+  decides the remaining classes: write-started lwsync/eieio segments
+  into ``Wse`` (the R+lwsync+sync family) and cumulativity-sensitive
+  3+-thread cycles (WRC+addrs vs WRC+lwsync+addr).
 
 ``check_suite`` runs a generated suite through the exhaustive explorer
 (via the parallel corpus runner) and reports every test whose verdict
-contradicts its expectation; state-budget exhaustion is reported as a
-skip, not a violation.
+contradicts its expectation; each check records which oracle tier
+decided it (``OracleCheck.oracle``), and state-budget exhaustion is
+reported as a skip, not a violation.
 """
 
 from __future__ import annotations
@@ -218,8 +222,12 @@ def _run_status(
     return "weak"
 
 
-def expectation(edges: Sequence[Edge]) -> Optional[str]:
-    """The envelope invariant for one cycle, or ``None`` if undecided."""
+def closure_expectation(edges: Sequence[Edge]) -> Optional[str]:
+    """The composition-closure invariant, or ``None`` if it cannot decide.
+
+    This is the fast per-segment analysis; ``expectation`` falls back to
+    the axiomatic solver (``testgen.axiomatic``) for the ``None`` cases.
+    """
     runs = thread_runs(edges)
     all_wse = all(out.base == "Wse" for _dirs, _internals, out in runs)
     statuses = [
@@ -240,6 +248,38 @@ def expectation(edges: Sequence[Edge]) -> Optional[str]:
     return None  # cumulativity-sensitive: not asserted here
 
 
+def expectation(
+    edges: Sequence[Edge], axiomatic: bool = True
+) -> Optional[str]:
+    """The envelope invariant for one cycle.
+
+    The composition closure decides first (it is cheap and validated
+    family by family); the cases it leaves open -- write-started
+    lwsync/eieio segments into ``Wse`` and cumulativity-sensitive
+    3+-thread cycles -- fall back to the axiomatic commit/propagation
+    solver, which decides every well-formed cycle.  ``axiomatic=False``
+    restores the closure-only behaviour (and its ``None`` verdicts).
+    """
+    if not axiomatic:
+        return closure_expectation(edges)
+    return expectation_with_oracle(edges)[0]
+
+
+def expectation_with_oracle(
+    edges: Sequence[Edge],
+) -> Tuple[Optional[str], Optional[str]]:
+    """Like ``expectation`` but names the deciding oracle.
+
+    Returns ``(verdict, "closure" | "axiomatic")``.
+    """
+    verdict = closure_expectation(edges)
+    if verdict is not None:
+        return verdict, "closure"
+    from .axiomatic import decide
+
+    return decide(edges).status, "axiomatic"
+
+
 @dataclass
 class OracleCheck:
     """One generated test's verdict against its envelope expectation."""
@@ -251,6 +291,7 @@ class OracleCheck:
     status: str  # model verdict, or "StateLimit"
     ok: Optional[bool]  # None when skipped/unasserted
     error: Optional[str] = None
+    oracle: Optional[str] = None  # "closure" | "axiomatic"
 
 
 @dataclass
@@ -287,6 +328,11 @@ class OracleReport:
         )
 
     @property
+    def solver_decided(self) -> int:
+        """Checks whose expectation came from the axiomatic solver."""
+        return sum(1 for check in self.checks if check.oracle == "axiomatic")
+
+    @property
     def sound(self) -> bool:
         return not self.violations
 
@@ -318,7 +364,7 @@ def check_suite(
     )
     checks: List[OracleCheck] = []
     for test, result in zip(tests, report.results):
-        expected = expectation(test.edges)
+        expected, oracle = expectation_with_oracle(test.edges)
         if result.status == "StateLimit" or expected is None:
             ok: Optional[bool] = None
         else:
@@ -332,6 +378,7 @@ def check_suite(
                 status=result.status,
                 ok=ok,
                 error=result.error,
+                oracle=oracle,
             )
         )
     return OracleReport(

@@ -133,7 +133,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--max-threads",
         type=int,
         default=4,
-        help="largest thread count to generate (default 4)",
+        help="largest thread count to generate (default 4; up to 6 is "
+        "validated against the solver-backed oracle)",
+    )
+    gen_parser.add_argument(
+        "--max-run",
+        type=int,
+        default=2,
+        help="longest internal-edge run per thread (default 2; up to 4 "
+        "is validated against the solver-backed oracle)",
     )
     gen_parser.add_argument(
         "--out", default=None, help="write one .litmus file per test here"
@@ -335,7 +343,12 @@ def _cmd_gen(args) -> int:
 
     from ..litmus.diy import generate
 
-    tests = generate(args.seed, args.size, max_threads=args.max_threads)
+    tests = generate(
+        args.seed,
+        args.size,
+        max_threads=args.max_threads,
+        max_run=args.max_run,
+    )
     if args.out:
         os.makedirs(args.out, exist_ok=True)
         for test in tests:
@@ -377,12 +390,15 @@ def _cmd_gen(args) -> int:
             file=sys.stderr,
         )
     print(
-        f"Oracle: {report.checked} invariants checked, "
+        f"Oracle: {report.checked} invariants checked "
+        f"({report.solver_decided} decided by the axiomatic solver), "
         f"{len(report.violations)} violation(s), {report.skipped} over "
         f"state budget, {report.unasserted} unasserted, "
         f"{report.jobs} worker(s), {report.wall_seconds:.2f}s wall",
         file=sys.stderr,
     )
+    # Violations are oracle soundness failures: exit non-zero so CI gen
+    # smoke jobs fail loudly instead of scrolling past.
     return 1 if report.violations else 0
 
 

@@ -52,6 +52,49 @@ class TestCli:
         assert "Enabled transitions" in output
         assert "Storage subsystem state" in output
 
+    def test_gen_lifted_caps_flags(self, capsys):
+        assert main(
+            ["gen", "--seed", "3", "--size", "5",
+             "--max-threads", "6", "--max-run", "4"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("POWER ") == 5
+        assert "generated 5 distinct tests" in captured.err
+
+    def test_gen_check_exits_nonzero_on_violation(self, monkeypatch, capsys):
+        # The exit-code contract: any oracle violation fails the run, so
+        # CI gen smoke jobs cannot scroll past a soundness break.
+        from repro.testgen import concurrent
+
+        def fake_check_suite(tests, jobs=None, max_states=None,
+                             strategy=None, params=None):
+            checks = [
+                concurrent.OracleCheck(
+                    name=test.name,
+                    family=test.family,
+                    edge_names=test.edge_names,
+                    expected="Forbidden",
+                    status="Allowed",
+                    ok=False,
+                    oracle="axiomatic",
+                )
+                for test in tests
+            ]
+            return concurrent.OracleReport(
+                checks=checks, jobs=1, wall_seconds=0.0
+            )
+
+        monkeypatch.setattr(concurrent, "check_suite", fake_check_suite)
+        assert main(["gen", "--seed", "0", "--size", "2", "--check"]) == 1
+        assert "VIOLATION" in capsys.readouterr().err
+
+    def test_gen_check_clean_suite_exits_zero(self, capsys):
+        assert main(
+            ["gen", "--seed", "0", "--size", "2", "--check", "--jobs", "1"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "0 violation(s)" in err
+
 
 class TestPublicApi:
     def test_version(self):

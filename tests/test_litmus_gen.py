@@ -164,6 +164,84 @@ class TestGenerate:
         suite = diy.generate(3, 30, max_threads=2)
         assert all(t.thread_count == 2 for t in suite)
 
+    def test_lifted_caps_reach_six_threads_and_four_runs(self):
+        suite = diy.generate(3, 40, max_threads=6, max_run=4)
+        assert max(t.thread_count for t in suite) >= 5
+        longest = 0
+        for test in suite:
+            run = 0
+            for edge in test.edges:
+                run = 0 if edge.external else run + 1
+                longest = max(longest, run)
+        assert longest >= 3
+        for test in suite:
+            parse_litmus(test.source)  # >8 locations still lower and parse
+
+    def test_no_wrap_around_reducible_candidates(self):
+        """Regression: the sampler filters the closing communication pair.
+
+        The consecutive-pair filter used to skip the wrap-around pair
+        (last external edge -> cycle-initial external edge), so when the
+        first thread had run length 0 the sampler built shapes like
+        ``[Fre, ..., Rfe]`` (``Rfe;Fre`` composes to ``Wse``) only for
+        ``cycle_error`` to throw the whole attempt away -- ~13% of all
+        attempts on seed 0.  Now no candidate reaching validation may
+        have a reducible wrap pair.
+        """
+        import random
+
+        captured = []
+        original = diy.cycle_error
+
+        def capture(edges):
+            captured.append(tuple(edges))
+            return original(edges)
+
+        rng = random.Random(0)
+        diy.cycle_error = capture
+        try:
+            for _ in range(4000):
+                diy._random_cycle(rng, max_threads=4, max_run=2)
+        finally:
+            diy.cycle_error = original
+        assert captured  # some candidates reached validation
+        for cycle in captured:
+            last, first = cycle[-1], cycle[0]
+            if last.external and first.external:
+                assert (
+                    (last.base, first.base) not in diy._REDUCIBLE_COM_PAIRS
+                ), [e.name for e in cycle]
+
+    def test_cycle_error_rejects_wrap_around_reducible_pair(self):
+        # Rfe (last) wrapping into Fre (first) composes to Wse.
+        error = diy.cycle_error(
+            diy.edges_from_names(
+                ["Fre", "PodWW", "Wse", "PodWW", "Rfe"]
+            )
+        )
+        assert error is not None and "composes" in error
+
+    def test_duplicates_do_not_exhaust_the_attempt_budget(self):
+        # 60 distinct two-thread shapes need far more than 60 samples
+        # (most are rotation duplicates); a tiny per-test budget must
+        # still succeed because only dead ends are charged.
+        suite = diy.generate(0, 60, max_threads=2, max_attempts_per_test=40)
+        assert len(suite) == 60
+
+    def test_exhaustion_reports_diagnostics(self):
+        # The two-thread, run<=1 shape space is tiny; asking for far
+        # more distinct cycles than exist must terminate (consecutive
+        # unproductive samples) and name the seed and rejection counts.
+        with pytest.raises(RuntimeError) as excinfo:
+            diy.generate(
+                0, 10_000, max_threads=2, max_run=1,
+                max_attempts_per_test=300,
+            )
+        message = str(excinfo.value)
+        assert "seed=0" in message
+        assert "rotation_duplicates=" in message
+        assert "dead_ends=" in message
+
 
 # ----------------------------------------------------------------------
 # Envelope expectations
@@ -199,12 +277,27 @@ class TestExpectation:
                 ["Rfe", "SyncdRR", "Fre", "Rfe", "SyncdRR", "Fre"],
                 "Forbidden",
             ),
-            # dependency-only WRC: non-multi-copy-atomic, undecided here
-            (["Rfe", "DpAddrdW", "Rfe", "DpAddrdR", "Fre"], None),
+            # dependency-only WRC: non-multi-copy-atomic -- the closure
+            # abstains, the axiomatic solver decides Allowed
+            (["Rfe", "DpAddrdW", "Rfe", "DpAddrdR", "Fre"], "Allowed"),
+            # write-started lwsync into Wse: "weak" for the closure, the
+            # solver decides Allowed (R+lwsync+sync class)
+            (["LwSyncdWW", "Wse", "SyncdWR", "Fre"], "Allowed"),
         ],
     )
     def test_expected_statuses(self, names, expected):
         assert expectation(diy.edges_from_names(names)) == expected
+
+    def test_closure_abstains_where_solver_decides(self):
+        from repro.testgen.concurrent import closure_expectation
+
+        for names in (
+            ["Rfe", "DpAddrdW", "Rfe", "DpAddrdR", "Fre"],  # WRC+addrs
+            ["LwSyncdWW", "Wse", "SyncdWR", "Fre"],  # R+lwsync+sync
+        ):
+            edges = diy.edges_from_names(names)
+            assert closure_expectation(edges) is None
+            assert expectation(edges) is not None
 
     def test_thread_runs_segmentation(self):
         edges = diy._build_rotation(

@@ -283,7 +283,14 @@ class TestWorkerBudgetComposition:
 
     def test_plan_prefers_corpus_sharding(self):
         assert plan_worker_budget(4, 10) == (4, 1)
-        assert plan_worker_budget(8, 2) == (2, 1)
+        assert plan_worker_budget(4, 4) == (4, 1)
+
+    def test_plan_distributes_leftover_budget_as_intra_jobs(self):
+        # 2 tests under --jobs 8 used to strand 6 workers as (2, 1).
+        assert plan_worker_budget(8, 2) == (2, 4)
+        assert plan_worker_budget(8, 3) == (3, 2)
+        assert plan_worker_budget(3, 2) == (2, 1)  # no whole worker spare
+        assert plan_worker_budget(5, 4) == (4, 1)
 
     def test_plan_gives_single_test_the_budget(self):
         assert plan_worker_budget(4, 1) == (1, 4)
@@ -307,6 +314,18 @@ class TestWorkerBudgetComposition:
     def test_multi_test_corpus_with_sharded_strategy(self, model):
         entries = [by_name("MP"), by_name("SB")]
         report = run_corpus(entries, jobs=2, strategy="sharded")
+        assert report.jobs == 2
+        for result in report.results:
+            reference = run_litmus(by_name(result.name).parse(), model)
+            assert result.status == reference.status
+            assert result.outcomes == reference.outcomes
+
+    def test_multi_test_corpus_spends_leftover_budget_intra(self, model):
+        # 2 tests + jobs=4: the plan is (2, 2), so the corpus runs in a
+        # non-daemonic executor whose workers fork 2 frontier shards
+        # each.  Verdicts and outcome sets still match sequential.
+        entries = [by_name("MP"), by_name("SB+syncs")]
+        report = run_corpus(entries, jobs=4, strategy="sharded")
         assert report.jobs == 2
         for result in report.results:
             reference = run_litmus(by_name(result.name).parse(), model)
