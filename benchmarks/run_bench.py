@@ -11,6 +11,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run_bench.py [--output PATH] [--label L]
         [--suite e6|gen] [--strategy sequential|sharded|bounded]
         [--intra-jobs N] [--shard-depth D]
+        [--reduction none|sleep] [--context-bound N]
 
 ``--suite gen`` runs the diy-generated two-thread suite instead of the
 curated E6 family, appending a generated-suite throughput entry to the
@@ -115,7 +116,7 @@ def run_suite(model=None, suite="e6", strategy=None):
     model = model if model is not None else default_model()
     max_states = GEN_WIDE_MAX_STATES if suite == "gen-wide" else None
     per_test = {}
-    total_states = total_transitions = 0
+    total_states = total_unique = total_transitions = 0
     total_seconds = 0.0
     for name, test in _suite_tests(suite):
         limited = False
@@ -134,15 +135,18 @@ def run_suite(model=None, suite="e6", strategy=None):
             "states": stats.states_visited,
             "finals": stats.final_states,
             "transitions": stats.transitions_taken,
+            "unique_states": stats.unique_states,
             "seconds": round(stats.seconds, 4),
         }
         if limited:
             per_test[name]["limit"] = True
         total_states += stats.states_visited
+        total_unique += stats.unique_states
         total_transitions += stats.transitions_taken
         total_seconds += stats.seconds
     total = {
         "states": total_states,
+        "unique_states": total_unique,
         "transitions": total_transitions,
         "seconds": round(total_seconds, 4),
         "transitions_per_second": int(total_transitions / total_seconds)
@@ -189,6 +193,18 @@ def main(argv=None) -> int:
         default=None,
         help="frontier split depth for --strategy sharded",
     )
+    parser.add_argument(
+        "--reduction",
+        choices=("none", "sleep"),
+        default="none",
+        help="sleep-set partial-order reduction (verdict-preserving)",
+    )
+    parser.add_argument(
+        "--context-bound",
+        type=int,
+        default=None,
+        help="context-switch bound (sound under-approximation)",
+    )
     args = parser.parse_args(argv)
 
     from repro.concurrency.search import make_strategy
@@ -202,13 +218,21 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
     strategy = make_strategy(
-        args.strategy, jobs=args.intra_jobs, shard_depth=args.shard_depth
+        args.strategy,
+        jobs=args.intra_jobs,
+        shard_depth=args.shard_depth,
+        reduction=args.reduction,
+        context_bound=args.context_bound,
     )
     # Record what will actually run, not the raw CLI args: resolve the
     # worker count, and flag sharded entries that degrade to sequential
     # (one usable CPU / no fork) so cross-machine comparisons aren't
     # poisoned by a mislabeled backend.
     strategy_record = {"name": args.strategy}
+    if args.reduction != "none":
+        strategy_record["reduction"] = args.reduction
+    if args.context_bound is not None:
+        strategy_record["context_bound"] = args.context_bound
     if args.strategy == "sharded":
         from repro.concurrency.search import ShardedParallel
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Tuple
 
-from .search import resolve_strategy
+from .search import apply_reduction, resolve_strategy
 from .search.core import (  # noqa: F401  (re-exported compatibility surface)
     ExplorationLimit,
     ExplorationResult,
@@ -41,14 +41,21 @@ def explore(
     max_states: Optional[int] = None,
     collect_deadlocks: bool = False,
     strategy=None,
+    reduction: str = "none",
+    context_bound: Optional[int] = None,
 ) -> ExplorationResult:
     """Exhaustively enumerate all reachable final states.
 
     ``memory_cells`` lists (addr, size) memory locations whose final values
     the caller cares about (from the litmus test's final condition);
-    ``strategy`` picks the search backend (default: sequential DFS).
+    ``strategy`` picks the search backend (default: sequential DFS);
+    ``reduction``/``context_bound`` apply the partial-order reduction
+    options to it (``"sleep"`` preserves the outcome envelope, a context
+    bound may truncate it -- reported via ``ExplorationResult.complete``).
     """
-    return resolve_strategy(strategy).explore(
+    return apply_reduction(
+        resolve_strategy(strategy), reduction, context_bound
+    ).explore(
         initial,
         memory_cells=memory_cells,
         max_states=max_states,
@@ -62,6 +69,8 @@ def find_witness(
     memory_cells: Iterable[Tuple[int, int]] = (),
     max_states: Optional[int] = None,
     strategy=None,
+    reduction: str = "none",
+    context_bound: Optional[int] = None,
 ) -> Optional[Witness]:
     """Search for one execution whose outcome satisfies ``predicate``.
 
@@ -70,8 +79,13 @@ def find_witness(
     witnessing execution found, or None if the predicate is unsatisfiable.
     The trace is the abstract-machine run behind the outcome -- the
     executable counterpart of the paper's execution diagrams.
+    ``reduction``/``context_bound`` behave as in ``explore`` (a
+    context-truncated witness search raises instead of returning an
+    unsupported ``None``).
     """
-    return resolve_strategy(strategy).find_witness(
+    return apply_reduction(
+        resolve_strategy(strategy), reduction, context_bound
+    ).find_witness(
         initial,
         predicate,
         memory_cells=memory_cells,

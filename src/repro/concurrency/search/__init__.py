@@ -8,19 +8,28 @@ backends over a single unified DFS driver (``core.run_search``):
   bit-identical to the historical ``explore``/``find_witness``;
 * ``ShardedParallel`` -- intra-test multiprocessing: the frontier is
   split at a configurable depth into subtree shards owned by forked
-  workers (key-hash partitioning), outcome sets and stats merged on
-  join;
+  workers (stable key-digest partitioning), outcome sets and stats
+  merged on join;
 * ``BoundedIterative`` -- growing-state-budget iterative deepening that
   returns partial outcome sets flagged ``complete=False`` instead of
   raising ``ExplorationLimit`` mid-search.
 
+Every backend accepts ``reduction``/``context_bound`` (see
+``reduction``): sleep-set partial-order reduction preserves the outcome
+envelope while pruning commuting interleavings; a context bound trades
+completeness (reported via ``ExplorationResult.complete``) for a
+drastically smaller search.
+
 ``resolve_strategy`` turns ``None`` / a name / an instance into a
-strategy; ``make_strategy`` builds one by name with tuning options
-(the CLI's ``--strategy`` / ``--shard-depth``).
+strategy; ``make_strategy`` builds one by name with tuning options (the
+CLI's ``--strategy`` / ``--shard-depth`` / ``--reduction`` /
+``--context-bound``); ``apply_reduction`` rebuilds an existing strategy
+with reduction options applied.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, Optional, Type
 
 from .base import SearchStrategy
@@ -37,6 +46,7 @@ from .core import (
     replay_index_path,
     run_search,
 )
+from .reduction import Reducer, make_reducer
 from .sequential import SequentialDFS
 from .sharded import ShardedParallel
 
@@ -53,6 +63,8 @@ def make_strategy(
     jobs: Optional[int] = None,
     shard_depth: Optional[int] = None,
     initial_budget: Optional[int] = None,
+    reduction: str = "none",
+    context_bound: Optional[int] = None,
 ) -> SearchStrategy:
     """Build a strategy by registry name, applying only relevant options."""
     try:
@@ -62,16 +74,35 @@ def make_strategy(
             f"unknown search strategy {name!r} "
             f"(choose from {sorted(STRATEGIES)})"
         ) from None
+    options = {"reduction": reduction, "context_bound": context_bound}
     if cls is ShardedParallel:
-        options = {}
         if jobs is not None:
             options["jobs"] = jobs
         if shard_depth is not None:
             options["shard_depth"] = shard_depth
         return ShardedParallel(**options)
     if cls is BoundedIterative and initial_budget is not None:
-        return BoundedIterative(initial_budget=initial_budget)
-    return cls()
+        options["initial_budget"] = initial_budget
+    return cls(**options)
+
+
+def apply_reduction(
+    strategy: SearchStrategy,
+    reduction: str = "none",
+    context_bound: Optional[int] = None,
+) -> SearchStrategy:
+    """A copy of ``strategy`` with the pruning options applied.
+
+    Every registered backend carries the two fields, so this is a plain
+    ``dataclasses.replace``; no-op when both options are defaults (so
+    callers can thread them unconditionally without disturbing
+    explicitly pre-configured strategy instances).
+    """
+    if reduction == "none" and context_bound is None:
+        return strategy
+    return dataclasses.replace(
+        strategy, reduction=reduction, context_bound=context_bound
+    )
 
 
 def resolve_strategy(spec=None, **options) -> SearchStrategy:
@@ -92,11 +123,14 @@ __all__ = [
     "ExplorationStats",
     "Frontier",
     "Outcome",
+    "Reducer",
     "STRATEGIES",
     "SearchStrategy",
     "SequentialDFS",
     "ShardedParallel",
     "Witness",
+    "apply_reduction",
+    "make_reducer",
     "make_strategy",
     "outcome_of",
     "registers_of_interest",

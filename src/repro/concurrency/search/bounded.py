@@ -16,7 +16,18 @@ work (identical outcomes and counters).  Larger graphs pay the classic
 iterative-deepening retraversal cost -- a geometric factor of at most
 ``growth / (growth - 1)`` over the final iteration -- and the returned
 stats accumulate every iteration's work, because that is what the search
-actually cost.
+actually cost.  ``unique_states`` is the exception: each iteration
+restarts from scratch over a superset of its predecessor's graph, so
+the final iteration's seen-set size *is* the coverage.
+
+The registers-of-interest static cache is a pure function of fetch
+addresses (program memory is fixed), so one ``static_cache`` is built
+per search and shared by every deepening iteration's visitor instead of
+being rebuilt from scratch each round.
+
+``reduction``/``context_bound`` run each iteration through the pruning
+layer (``reduction.py``); a context-bound truncation downgrades even a
+within-budget iteration to ``complete=False``.
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ from .core import (
     extend_trace,
     run_search,
 )
+from .reduction import make_reducer
 from ..system import SystemState
 
 
@@ -45,6 +57,8 @@ class BoundedIterative(SearchStrategy):
 
     initial_budget: int = 4096
     growth: int = 4
+    reduction: str = "none"
+    context_bound: Optional[int] = None
 
     name = "bounded"
 
@@ -66,10 +80,15 @@ class BoundedIterative(SearchStrategy):
         limit = self.resolve_limit(initial, max_states)
         cells = tuple(memory_cells)
         work = ExplorationStats()
+        static_cache = {}
         started = time.perf_counter()
         for budget in self._budgets(limit):
             stats = ExplorationStats()
-            visitor = CollectOutcomes(cells, collect_deadlocks)
+            visitor = CollectOutcomes(
+                cells, collect_deadlocks, static_cache=static_cache
+            )
+            reducer = make_reducer(self.reduction, self.context_bound)
+            seen = {} if reducer is not None and reducer.sleep else set()
             try:
                 run_search(
                     initial,
@@ -77,15 +96,22 @@ class BoundedIterative(SearchStrategy):
                     limit=budget,
                     stats=stats,
                     strict_deadlocks=True,
+                    seen=seen,
+                    reducer=reducer,
                 )
             except ExplorationLimit:
                 work.merge(stats)
+                work.unique_states = len(seen)
                 partial = visitor
                 continue
             work.merge(stats)
+            work.unique_states = len(seen)
             work.seconds = time.perf_counter() - started
             return ExplorationResult(
-                visitor.outcomes, work, visitor.deadlock_states
+                visitor.outcomes,
+                work,
+                visitor.deadlock_states,
+                complete=reducer is None or not reducer.truncated,
             )
         # Only reachable via the except path at the final (full) budget:
         # the caller's own budget is exhausted, so degrade to a partial
@@ -105,11 +131,14 @@ class BoundedIterative(SearchStrategy):
         limit = self.resolve_limit(initial, max_states)
         cells = tuple(memory_cells)
         work = ExplorationStats()
+        static_cache = {}
         last_error = None
         started = time.perf_counter()
         for budget in self._budgets(limit):
             stats = ExplorationStats()
-            visitor = StopOnWitness(predicate, cells)
+            visitor = StopOnWitness(predicate, cells, static_cache=static_cache)
+            reducer = make_reducer(self.reduction, self.context_bound)
+            seen = {} if reducer is not None and reducer.sleep else set()
             try:
                 found = run_search(
                     initial,
@@ -119,14 +148,26 @@ class BoundedIterative(SearchStrategy):
                     strict_deadlocks=False,
                     payload=(),
                     extend=extend_trace,
+                    seen=seen,
+                    reducer=reducer,
                 )
             except ExplorationLimit as exc:
                 work.merge(stats)
+                work.unique_states = len(seen)
                 last_error = str(exc)
                 continue
             work.merge(stats)
+            work.unique_states = len(seen)
             work.seconds = time.perf_counter() - started
             if found is None:
+                if reducer is not None and reducer.truncated:
+                    # Within budget but context-truncated: absence of a
+                    # witness proves nothing, stay loud.
+                    raise ExplorationLimit(
+                        f"context bound {self.context_bound} truncated "
+                        "the witness search before it completed",
+                        work,
+                    )
                 return None
             state, path = found
             return Witness(list(path), state, work)

@@ -66,6 +66,12 @@ class ExplorationStats:
     deadlocks: int = 0
     max_frontier: int = 0
     seconds: float = 0.0
+    #: Distinct state keys deduplicated against (seen-set sizes, merged).
+    #: ``states_visited`` measures work *done* -- for sharded searches it
+    #: folds in cross-partition duplicate exploration -- while this
+    #: counts states *covered*; benchmarks record both so throughput
+    #: entries stop conflating the two.
+    unique_states: int = 0
 
     def merge(self, other: "ExplorationStats") -> None:
         """Fold another search's accounting into this one (corpus totals)."""
@@ -75,6 +81,7 @@ class ExplorationStats:
         self.deadlocks += other.deadlocks
         self.max_frontier = max(self.max_frontier, other.max_frontier)
         self.seconds += other.seconds
+        self.unique_states += other.unique_states
 
 
 @dataclass
@@ -143,13 +150,16 @@ class Frontier:
     def pop(self) -> Tuple[SystemState, object]:
         stats = self.stats
         stats.max_frontier = max(stats.max_frontier, len(self.stack))
-        state, payload = self.stack.pop()
-        stats.states_visited += 1
-        if stats.states_visited > self.limit:
+        # Budget check *before* counting: an ``ExplorationLimit``'s
+        # partial stats must equal the budget exactly, not overstate the
+        # work by the one state that was never processed.
+        if stats.states_visited >= self.limit:
             raise ExplorationLimit(
                 f"exceeded {self.limit} states; increase params.max_states",
                 stats,
             )
+        state, payload = self.stack.pop()
+        stats.states_visited += 1
         return state, payload
 
     def push(self, state: SystemState, transition: Transition,
@@ -279,6 +289,9 @@ def run_search(
     payload=None,
     extend: Optional[Callable] = None,
     seen: Optional[Set] = None,
+    reducer=None,
+    sleep_seed: FrozenSet[Transition] = frozenset(),
+    context_seed: Tuple[Optional[int], int] = (None, 0),
 ):
     """The unified DFS loop behind every search mode.
 
@@ -289,7 +302,21 @@ def run_search(
     (explore mode); without it the path is abandoned (witness mode, which
     historically skipped such states).  ``extend`` builds child payloads;
     ``None`` propagates no payload (explore mode).
+
+    A non-``None`` ``reducer`` (``reduction.Reducer``) switches to the
+    pruning loop: sleep-set partial-order reduction and/or context
+    bounding.  ``sleep_seed``/``context_seed`` seed the root's pruning
+    state (the sharded backend resumes worker subtrees mid-path); with
+    sleep sets on, ``seen`` must be (and defaults to) a dict mapping
+    state key to its stored sleep set instead of a plain set.
     """
+    if reducer is not None:
+        return _run_reduced(
+            initial, visitor, limit=limit, stats=stats,
+            strict_deadlocks=strict_deadlocks, payload=payload,
+            extend=extend, seen=seen, reducer=reducer,
+            sleep_seed=sleep_seed, context_seed=context_seed,
+        )
     frontier = Frontier(initial, payload, limit, stats, seen=seen)
     while frontier:
         state, path = frontier.pop()
@@ -323,6 +350,139 @@ def run_search(
         else:
             for index, transition in enumerate(transitions):
                 frontier.push(state, transition, extend(path, transition, index))
+    return None
+
+
+def visit_sleep(seen, key, sleep: FrozenSet[Transition]):
+    """Record an arrival at ``key`` with ``sleep``; say what to explore.
+
+    The seen map stores one sleep set per state -- the *intersection*
+    of every arrival's sleep set, which by induction is exactly the set
+    of transitions NOT yet explored from the state (Godefroid's
+    state-caching sleep-set algorithm).  Returns
+
+    * ``(False, None)`` -- first arrival: explore everything awake;
+    * ``(True, None)`` -- the stored set is a subset of this arrival's,
+      so every continuation this arrival would explore already was:
+      prune;
+    * ``(False, wake)`` -- partial coverage: only the transitions in
+      ``wake`` (previously asleep on every visit, awake now) need
+      exploring, and the stored set shrinks to the intersection.
+    """
+    stored = seen.get(key)
+    if stored is None:
+        seen[key] = sleep
+        return False, None
+    if stored <= sleep:
+        return True, None
+    seen[key] = stored & sleep
+    return False, stored - sleep
+
+
+def _run_reduced(
+    initial: SystemState,
+    visitor,
+    *,
+    limit: int,
+    stats: ExplorationStats,
+    strict_deadlocks: bool,
+    payload,
+    extend: Optional[Callable],
+    seen,
+    reducer,
+    sleep_seed: FrozenSet[Transition],
+    context_seed: Tuple[Optional[int], int],
+):
+    """``run_search`` with sleep-set pruning and/or a context bound.
+
+    Kept as a separate loop so the unreduced driver stays byte-for-byte
+    on its historical hot path (and bit-identical in its counters); the
+    cross-strategy equivalence tests pin the observable agreement of the
+    two loops.  See ``reduction`` for the pruning theory; the state/
+    final/deadlock handling mirrors the plain loop exactly.
+
+    The root is always explored fully (never pruned against ``seen``):
+    callers resume worker subtrees from roots whose keys the shared
+    prefix seen-structure already records.  Exploring a superset of the
+    stored difference is always sound -- the stored set only shrinks.
+    """
+    sleep_on = reducer.sleep
+    if seen is None:
+        seen = {} if sleep_on else set()
+    if sleep_on:
+        visit_sleep(seen, initial.key(), sleep_seed)
+    else:
+        seen.add(initial.key())
+    stack = [(initial, payload, sleep_seed, context_seed, None)]
+    while stack:
+        stats.max_frontier = max(stats.max_frontier, len(stack))
+        if stats.states_visited >= limit:
+            raise ExplorationLimit(
+                f"exceeded {limit} states; increase params.max_states",
+                stats,
+            )
+        state, path, sleep, context, wake = stack.pop()
+        stats.states_visited += 1
+        if state.is_final():
+            stats.final_states += 1
+            found = visitor.on_final(state, path)
+            if found is not None:
+                return found
+            continue
+        transitions = state.enumerate_transitions()
+        if not transitions:
+            if state.threads_finished():
+                stats.deadlocks += 1
+                visitor.on_deadlock(state)
+                continue
+            if strict_deadlocks:
+                raise ModelError(
+                    "deadlock: no transitions from a non-final state\n"
+                    + state.render()
+                )
+            continue
+        explored: List[Transition] = []
+        for index, transition in enumerate(transitions):
+            if sleep_on:
+                if wake is not None and transition not in wake:
+                    # A revisit: everything outside the woken difference
+                    # was already explored from this state.
+                    continue
+                if transition in sleep:
+                    # Covered by an equivalent interleaving through the
+                    # sibling that put this transition to sleep.
+                    continue
+            if not reducer.within_bound(context, transition):
+                continue
+            if sleep_on:
+                child_sleep = frozenset(
+                    z
+                    for source in (sleep, explored)
+                    for z in source
+                    if reducer.independent(state, z, transition)
+                )
+            else:
+                child_sleep = sleep
+            successor = state.apply(transition)
+            stats.transitions_taken += 1
+            key = successor.key()
+            if sleep_on:
+                pruned, child_wake = visit_sleep(seen, key, child_sleep)
+                explored.append(transition)
+                if pruned:
+                    continue
+            else:
+                if key in seen:
+                    continue
+                seen.add(key)
+                child_wake = None
+            stack.append((
+                successor,
+                extend(path, transition, index) if extend else None,
+                child_sleep,
+                reducer.advance_context(context, transition),
+                child_wake,
+            ))
     return None
 
 

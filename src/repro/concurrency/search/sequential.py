@@ -6,6 +6,13 @@ deadlocks and outcome sets are bit-identical to the historical
 ``explore``/``find_witness`` loops (asserted by
 ``tests/test_search_strategies.py`` against the recorded E6 numbers and
 by the fast-state-engine regression tests).
+
+``reduction``/``context_bound`` opt in to the pruning layer
+(``reduction.py``): sleep-set partial-order reduction preserves the
+outcome envelope; a context bound may truncate it, which the result
+reports as ``complete=False`` (and ``find_witness`` keeps loud by
+raising ``ExplorationLimit`` instead of returning an unsupported
+``None``).
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import Iterable, Optional, Tuple
 from .base import SearchStrategy
 from .core import (
     CollectOutcomes,
+    ExplorationLimit,
     ExplorationResult,
     ExplorationStats,
     StopOnWitness,
@@ -24,12 +32,16 @@ from .core import (
     extend_trace,
     run_search,
 )
+from .reduction import make_reducer
 from ..system import SystemState
 
 
 @dataclass(frozen=True)
 class SequentialDFS(SearchStrategy):
     """Memoised in-process DFS -- the baseline every backend must match."""
+
+    reduction: str = "none"
+    context_bound: Optional[int] = None
 
     name = "sequential"
 
@@ -43,19 +55,26 @@ class SequentialDFS(SearchStrategy):
         limit = self.resolve_limit(initial, max_states)
         stats = ExplorationStats()
         visitor = CollectOutcomes(tuple(memory_cells), collect_deadlocks)
+        reducer = make_reducer(self.reduction, self.context_bound)
+        seen = {} if reducer is not None and reducer.sleep else set()
         started = time.perf_counter()
         try:
             run_search(
                 initial, visitor, limit=limit, stats=stats,
-                strict_deadlocks=True,
+                strict_deadlocks=True, seen=seen, reducer=reducer,
             )
         finally:
             # Also on ExplorationLimit: the exception carries this same
             # stats object, and its partial work must not report zero
-            # seconds (it would inflate downstream throughput numbers).
+            # seconds (it would inflate downstream throughput numbers)
+            # or zero coverage.
             stats.seconds = time.perf_counter() - started
+            stats.unique_states = len(seen)
         return ExplorationResult(
-            visitor.outcomes, stats, visitor.deadlock_states
+            visitor.outcomes,
+            stats,
+            visitor.deadlock_states,
+            complete=reducer is None or not reducer.truncated,
         )
 
     def find_witness(
@@ -68,6 +87,8 @@ class SequentialDFS(SearchStrategy):
         limit = self.resolve_limit(initial, max_states)
         stats = ExplorationStats()
         visitor = StopOnWitness(predicate, tuple(memory_cells))
+        reducer = make_reducer(self.reduction, self.context_bound)
+        seen = {} if reducer is not None and reducer.sleep else set()
         started = time.perf_counter()
         try:
             found = run_search(
@@ -78,10 +99,22 @@ class SequentialDFS(SearchStrategy):
                 strict_deadlocks=False,
                 payload=(),
                 extend=extend_trace,
+                seen=seen,
+                reducer=reducer,
             )
         finally:
             stats.seconds = time.perf_counter() - started
+            stats.unique_states = len(seen)
         if found is None:
+            if reducer is not None and reducer.truncated:
+                # A truncated witness search proves nothing: ``None``
+                # would read as unsatisfiability, which the cut paths
+                # cannot support.
+                raise ExplorationLimit(
+                    f"context bound {self.context_bound} truncated the "
+                    "witness search before it completed",
+                    stats,
+                )
             return None
         state, path = found
         return Witness(list(path), state, stats)

@@ -6,9 +6,13 @@ One litmus test's state graph is explored by several OS processes:
    graph down to ``shard_depth`` levels, deduplicating against a shared
    seen-set and summarising any final/deadlocked states it meets.  The
    surviving leaves are the *subtree roots*.
-2. *Key-hash partitioning.*  Each root is assigned to the worker that
-   owns its state key's hash partition (``hash(key) % jobs``), so
-   ownership is a pure function of the state, not of scheduling order.
+2. *Key-digest partitioning.*  Each root is assigned to the worker that
+   owns its state key's digest partition (``crc32(key bytes) % jobs``),
+   so ownership is a pure function of the state -- not of scheduling
+   order, and not of ``PYTHONHASHSEED``: the digest walks the key
+   structure itself instead of trusting the builtin salted ``hash``, so
+   partition assignment (and with it work accounting and worker-failure
+   reproduction) is byte-identical across interpreter runs.
 3. *Worker DFS.*  Workers are forked (the ``fork`` start method is
    required: subtree root states and the prefix seen-set are inherited
    by memory, never pickled), and each runs the ordinary sequential
@@ -24,11 +28,11 @@ One litmus test's state graph is explored by several OS processes:
 Determinism argument: the prefix expansion and every worker DFS are
 deterministic, and the only cross-worker effects are set unions and
 commutative counter merges, so verdicts and outcome sets are identical
-to ``SequentialDFS`` regardless of scheduling (and of the hash seed,
-which only moves work between partitions).  Work *accounting* is not
+to ``SequentialDFS`` regardless of scheduling.  Work *accounting* is not
 bit-stable: cross-partition duplicates and scheduling skew make
 ``states_visited``/``transitions_taken`` an honest measure of work done,
-not of unique states.
+not of unique states; ``unique_states`` (the prefix seen-set size plus
+each worker's seen-set growth) is the states-covered counter.
 
 The state budget is enforced per shard: the prefix charges the shared
 budget, and each worker may visit up to the remaining budget in its own
@@ -36,19 +40,30 @@ partition, so a sharded run can do up to ``jobs`` times the sequential
 work before giving up -- budget exhaustion still raises
 ``ExplorationLimit`` (with merged partial stats attached).
 
+``reduction``/``context_bound`` (see ``reduction.py``) thread through
+the whole pipeline: the prefix expansion prunes exactly as the reduced
+driver would, each subtree root carries its sleep set and scheduling
+context into the owning worker, and workers resume ``run_search`` from
+those seeds.  Sleep-set pruning stays sound across partitions because
+every pruned interleaving is covered by a sibling subtree that is
+itself some worker's root, and outcomes merge as sets; a context-bound
+truncation in the prefix or any worker downgrades the merged result to
+``complete=False``.
+
 Witness searches ship transition-*index* paths back from workers and
 replay them in the parent (enumeration is deterministic), so traces
 never need to be picklable.  When sharding is impossible -- one job,
 no ``fork`` start method, already inside a daemonic pool worker, or
 deadlock-state collection requested -- the strategy degrades to
-``SequentialDFS``.
+``SequentialDFS`` (with the same reduction options).
 """
 
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from .base import SearchStrategy
 from .core import (
@@ -62,14 +77,81 @@ from .core import (
     extend_trace,
     replay_index_path,
     run_search,
+    visit_sleep,
 )
+from .reduction import make_reducer
 from .sequential import SequentialDFS
+from ..events import BarrierId, WriteId
+from ..keys import CachedKey
 from ..system import SystemState, Transition
 from ..thread import ModelError
+from ...sail.values import Bits
 
 #: Parent-side exploration context inherited by forked workers:
-#: (roots, prefix seen-set, cells, per-worker limit, predicate).
+#: (roots, prefix seen-structure, cells, per-worker limit, predicate,
+#: (reduction, context_bound) policy).
 _SHARD_CONTEXT = None
+
+#: A subtree root: (prefix trace, state, sleep set, scheduling context).
+Root = Tuple[Tuple[Transition, ...], SystemState, frozenset,
+             Tuple[Optional[int], int]]
+
+
+def _serialize_key(value, out: bytearray) -> None:
+    """Append a stable, hash-seed-independent encoding of a key part.
+
+    State keys are nested tuples of ints/strings/identifiers/``Bits``
+    wrapped in ``CachedKey`` layers, but instance keys also embed opaque
+    in-flight operation objects; those fall back to their type name.
+    The digest built from this encoding needs *determinism*, not
+    injectivity -- a collision only co-locates two roots in the same
+    partition.
+    """
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif type(value) is int:
+        out += b"i%d;" % value
+    elif type(value) is str:
+        out += b"s%d:" % len(value)
+        out += value.encode("utf-8", "surrogatepass")
+    elif type(value) is CachedKey:
+        _serialize_key(value.value, out)
+    elif type(value) is tuple:
+        out += b"("
+        for item in value:
+            _serialize_key(item, out)
+        out += b")"
+    elif type(value) is WriteId or type(value) is BarrierId:
+        out += b"I"
+        _serialize_key(value._sort_key, out)
+    elif type(value) is Bits:
+        out += b"B%d,%d,%d,%d;" % (
+            value.width, value.ones, value.undefs, value.unknowns
+        )
+    elif type(value) is frozenset:
+        parts = []
+        for item in value:
+            piece = bytearray()
+            _serialize_key(item, piece)
+            parts.append(bytes(piece))
+        out += b"{"
+        for piece in sorted(parts):
+            out += piece
+        out += b"}"
+    else:
+        out += b"?"
+        out += type(value).__name__.encode("utf-8")
+
+
+def _stable_digest(key) -> int:
+    """``zlib.crc32`` over the stable encoding of a state key."""
+    out = bytearray()
+    _serialize_key(key, out)
+    return zlib.crc32(bytes(out))
 
 
 def _shard_worker(worker_id: int, root_indexes: List[int], mode: str,
@@ -78,34 +160,54 @@ def _shard_worker(worker_id: int, root_indexes: List[int], mode: str,
 
     The report is the worker's last act; the connection's write end then
     closes with the process, so the parent sees EOF -- not a hang -- if
-    the worker dies before (or while) reporting.
+    the worker dies before (or while) reporting.  Reports carry the
+    worker's seen-set *growth* over the prefix (its ``unique_states``
+    contribution) and whether its reducer truncated the search.
     """
-    roots, prefix_seen, cells, limit, predicate = _SHARD_CONTEXT
+    roots, prefix_seen, cells, limit, predicate, policy = _SHARD_CONTEXT
     stats = ExplorationStats()
-    seen = set(prefix_seen)
+    reducer = make_reducer(*policy)
+    if reducer is not None and reducer.sleep:
+        # Stored sleep sets are immutable frozensets: a shallow dict
+        # copy keeps the worker's updates off the (forked) prefix map.
+        seen = dict(prefix_seen)
+    else:
+        seen = set(prefix_seen)
+    prefix_unique = len(prefix_seen)
+
+    def report(kind, payload, error):
+        stats.unique_states = len(seen) - prefix_unique
+        truncated = reducer is not None and reducer.truncated
+        connection.send((kind, payload, stats, error, truncated))
+
     if mode == "explore":
         visitor = CollectOutcomes(cells)
         try:
             for index in root_indexes:
+                _trace, state, sleep, context = roots[index]
                 run_search(
-                    roots[index][1],
+                    state,
                     visitor,
                     limit=limit,
                     stats=stats,
                     strict_deadlocks=True,
                     seen=seen,
+                    reducer=reducer,
+                    sleep_seed=sleep,
+                    context_seed=context,
                 )
-            connection.send(("ok", visitor.outcomes, stats, None))
+            report("ok", visitor.outcomes, None)
         except ExplorationLimit as exc:
-            connection.send(("limit", visitor.outcomes, stats, str(exc)))
+            report("limit", visitor.outcomes, str(exc))
         except BaseException as exc:
-            connection.send(("error", visitor.outcomes, stats, repr(exc)))
+            report("error", visitor.outcomes, repr(exc))
         return
     visitor = StopOnWitness(predicate, cells)
     try:
         for index in root_indexes:
+            _trace, state, sleep, context = roots[index]
             found = run_search(
-                roots[index][1],
+                state,
                 visitor,
                 limit=limit,
                 stats=stats,
@@ -113,16 +215,19 @@ def _shard_worker(worker_id: int, root_indexes: List[int], mode: str,
                 payload=(),
                 extend=extend_index_path,
                 seen=seen,
+                reducer=reducer,
+                sleep_seed=sleep,
+                context_seed=context,
             )
             if found is not None:
                 _state, path = found
-                connection.send(("witness", (index, path), stats, None))
+                report("witness", (index, path), None)
                 return
-        connection.send(("ok", None, stats, None))
+        report("ok", None, None)
     except ExplorationLimit as exc:
-        connection.send(("limit", None, stats, str(exc)))
+        report("limit", None, str(exc))
     except BaseException as exc:
-        connection.send(("error", None, stats, repr(exc)))
+        report("error", None, repr(exc))
 
 
 @dataclass(frozen=True)
@@ -137,6 +242,8 @@ class ShardedParallel(SearchStrategy):
 
     jobs: Optional[int] = None
     shard_depth: int = 3
+    reduction: str = "none"
+    context_bound: Optional[int] = None
 
     name = "sharded"
 
@@ -162,6 +269,12 @@ class ShardedParallel(SearchStrategy):
         # children; degrade to the sequential engine there.
         return not multiprocessing.current_process().daemon
 
+    def _sequential(self) -> SequentialDFS:
+        """The degradation target, carrying the same reduction options."""
+        return SequentialDFS(
+            reduction=self.reduction, context_bound=self.context_bound
+        )
+
     def _expand(
         self,
         initial: SystemState,
@@ -169,38 +282,47 @@ class ShardedParallel(SearchStrategy):
         limit: int,
         stats: ExplorationStats,
         strict_deadlocks: bool,
+        reducer,
     ):
         """Breadth-first prefix expansion to ``shard_depth`` levels.
 
         Returns ``(roots, seen, found)`` where ``roots`` are
-        ``(prefix-trace, state)`` leaves still to be searched, ``seen``
-        is the prefix dedup set, and ``found`` is a non-``None`` visitor
-        stop value (an early witness) if the prefix already decided the
-        search.
+        ``(prefix-trace, state, sleep set, context)`` leaves still to be
+        searched, ``seen`` is the prefix dedup structure (a plain key
+        set, or a key -> stored-sleep-set map under sleep-set
+        reduction), and ``found`` is a non-``None`` visitor stop value
+        (an early witness) if the prefix already decided the search.
 
         The per-state handling (final summarisation, deadlock
-        accounting, strict-deadlock ModelError, seen-keyed push, budget
-        check) mirrors ``core.run_search`` in breadth-first order and
-        must stay semantically in lock-step with it; the cross-strategy
-        equivalence tests pin the observable agreement.
+        accounting, strict-deadlock ModelError, budget check before
+        counting, seen-keyed push, sleep/context pruning) mirrors
+        ``core.run_search``/``core._run_reduced`` in breadth-first order
+        and must stay semantically in lock-step with them; the
+        cross-strategy equivalence tests pin the observable agreement.
         """
-        roots: List[Tuple[Tuple[Transition, ...], SystemState]] = [
-            ((), initial)
-        ]
-        seen: Set = {initial.key()}
+        sleep_on = reducer is not None and reducer.sleep
+        root_sleep: frozenset = frozenset()
+        roots: List[Root] = [((), initial, root_sleep, (None, 0))]
+        if sleep_on:
+            seen = {initial.key(): root_sleep}
+        else:
+            seen = {initial.key()}
         for _level in range(max(0, self.shard_depth)):
-            next_roots: List[Tuple[Tuple[Transition, ...], SystemState]] = []
-            for trace, state in roots:
+            next_roots: List[Root] = []
+            for trace, state, sleep, context in roots:
                 stats.max_frontier = max(
                     stats.max_frontier, len(roots) + len(next_roots)
                 )
-                stats.states_visited += 1
-                if stats.states_visited > limit:
+                # Budget check *before* counting, exactly as
+                # ``Frontier.pop``: partial stats equal the budget.
+                if stats.states_visited >= limit:
+                    stats.unique_states = len(seen)
                     raise ExplorationLimit(
                         f"exceeded {limit} states; "
                         "increase params.max_states",
                         stats,
                     )
+                stats.states_visited += 1
                 if state.is_final():
                     stats.final_states += 1
                     found = visitor.on_final(state, trace)
@@ -219,23 +341,59 @@ class ShardedParallel(SearchStrategy):
                             "state\n" + state.render()
                         )
                     continue
+                explored: List[Transition] = []
                 for transition in transitions:
+                    if sleep_on and transition in sleep:
+                        continue
+                    if reducer is not None and not reducer.within_bound(
+                        context, transition
+                    ):
+                        continue
+                    if sleep_on:
+                        child_sleep = frozenset(
+                            z
+                            for source in (sleep, explored)
+                            for z in source
+                            if reducer.independent(state, z, transition)
+                        )
+                    else:
+                        child_sleep = sleep
                     successor = state.apply(transition)
                     stats.transitions_taken += 1
                     key = successor.key()
-                    if key not in seen:
+                    if sleep_on:
+                        # A root pushed after partial coverage will be
+                        # explored fully by its worker -- a sound
+                        # superset of the woken difference.
+                        pruned, _wake = visit_sleep(seen, key, child_sleep)
+                        explored.append(transition)
+                        if pruned:
+                            continue
+                    else:
+                        if key in seen:
+                            continue
                         seen.add(key)
-                        next_roots.append((trace + (transition,), successor))
+                    next_roots.append((
+                        trace + (transition,),
+                        successor,
+                        child_sleep,
+                        reducer.advance_context(context, transition)
+                        if reducer is not None else context,
+                    ))
             roots = next_roots
             if not roots:
                 break
         return roots, seen, None
 
     def _partition(self, roots, jobs: int) -> List[List[int]]:
-        """Key-hash-partitioned ownership: root -> worker by state key."""
+        """Key-digest-partitioned ownership: root -> worker by state key.
+
+        Stable across interpreter runs (``PYTHONHASHSEED`` never enters):
+        regression-tested by the hash-seed subprocess test.
+        """
         bundles: List[List[int]] = [[] for _ in range(jobs)]
-        for index, (_trace, state) in enumerate(roots):
-            bundles[hash(state.key()) % jobs].append(index)
+        for index, (_trace, state, _sleep, _context) in enumerate(roots):
+            bundles[_stable_digest(state.key()) % jobs].append(index)
         return [bundle for bundle in bundles if bundle]
 
     @staticmethod
@@ -300,7 +458,10 @@ class ShardedParallel(SearchStrategy):
         global _SHARD_CONTEXT
         context = multiprocessing.get_context("fork")
         bundles = self._partition(roots, self.effective_jobs())
-        _SHARD_CONTEXT = (roots, seen, cells, limit, predicate)
+        _SHARD_CONTEXT = (
+            roots, seen, cells, limit, predicate,
+            (self.reduction, self.context_bound),
+        )
         workers = []
         try:
             for worker_id, bundle in enumerate(bundles):
@@ -328,22 +489,25 @@ class ShardedParallel(SearchStrategy):
     ) -> ExplorationResult:
         jobs = self.effective_jobs()
         if jobs <= 1 or collect_deadlocks or not self.can_fork():
-            return SequentialDFS().explore(
+            return self._sequential().explore(
                 initial, memory_cells, max_states, collect_deadlocks
             )
         limit = self.resolve_limit(initial, max_states)
         cells = tuple(memory_cells)
         stats = ExplorationStats()
         visitor = CollectOutcomes(cells)
+        reducer = make_reducer(self.reduction, self.context_bound)
+        seen = None
         started = time.perf_counter()
         try:
             roots, seen, _found = self._expand(
-                initial, visitor, limit, stats, strict_deadlocks=True
+                initial, visitor, limit, stats,
+                strict_deadlocks=True, reducer=reducer,
             )
             if len(roots) <= 1:
                 # Graph too shallow to shard: finish inline on the shared
                 # seen-set -- same traversal a one-partition worker would do.
-                for _trace, state in roots:
+                for _trace, state, sleep, context in roots:
                     run_search(
                         state,
                         visitor,
@@ -351,24 +515,36 @@ class ShardedParallel(SearchStrategy):
                         stats=stats,
                         strict_deadlocks=True,
                         seen=seen,
+                        reducer=reducer,
+                        sleep_seed=sleep,
+                        context_seed=context,
                     )
-                return ExplorationResult(visitor.outcomes, stats, [])
+                return ExplorationResult(
+                    visitor.outcomes, stats, [],
+                    complete=reducer is None or not reducer.truncated,
+                )
         finally:
             # Also on ExplorationLimit from the prefix or the inline
             # search: the exception carries this stats object, and its
-            # partial work must not report zero seconds.
+            # partial work must not report zero seconds or coverage.
             stats.seconds = time.perf_counter() - started
+            if seen is not None:
+                stats.unique_states = len(seen)
 
         worker_limit = max(1, limit - stats.states_visited)
         workers = self._dispatch(
             roots, seen, cells, worker_limit, None, "explore"
         )
         outcomes = visitor.outcomes
+        truncated = reducer is not None and reducer.truncated
         limit_error = None
         worker_error = None
         try:
-            for kind, payload, wstats, error in self._collect(workers):
+            for kind, payload, wstats, error, wtruncated in self._collect(
+                workers
+            ):
                 stats.merge(wstats)
+                truncated = truncated or wtruncated
                 if payload:
                     outcomes |= payload
                 if kind == "limit" and limit_error is None:
@@ -391,7 +567,7 @@ class ShardedParallel(SearchStrategy):
             raise ModelError(f"sharded worker failed: {worker_error}")
         if limit_error is not None:
             raise ExplorationLimit(limit_error, stats)
-        return ExplorationResult(outcomes, stats, [])
+        return ExplorationResult(outcomes, stats, [], complete=not truncated)
 
     def find_witness(
         self,
@@ -402,23 +578,26 @@ class ShardedParallel(SearchStrategy):
     ) -> Optional[Witness]:
         jobs = self.effective_jobs()
         if jobs <= 1 or not self.can_fork():
-            return SequentialDFS().find_witness(
+            return self._sequential().find_witness(
                 initial, predicate, memory_cells, max_states
             )
         limit = self.resolve_limit(initial, max_states)
         cells = tuple(memory_cells)
         stats = ExplorationStats()
         visitor = StopOnWitness(predicate, cells)
+        reducer = make_reducer(self.reduction, self.context_bound)
+        seen = None
         started = time.perf_counter()
         try:
             roots, seen, found = self._expand(
-                initial, visitor, limit, stats, strict_deadlocks=False
+                initial, visitor, limit, stats,
+                strict_deadlocks=False, reducer=reducer,
             )
             if found is not None:
                 state, trace = found
                 return Witness(list(trace), state, stats)
             if len(roots) <= 1:
-                for trace, state in roots:
+                for trace, state, sleep, context in roots:
                     found = run_search(
                         state,
                         visitor,
@@ -428,25 +607,43 @@ class ShardedParallel(SearchStrategy):
                         payload=trace,
                         extend=extend_trace,
                         seen=seen,
+                        reducer=reducer,
+                        sleep_seed=sleep,
+                        context_seed=context,
                     )
                     if found is not None:
                         final_state, full_trace = found
                         return Witness(list(full_trace), final_state, stats)
+                if reducer is not None and reducer.truncated:
+                    # A truncated witness search proves nothing:
+                    # ``None`` would read as unsatisfiability, which
+                    # the cut paths cannot support.
+                    raise ExplorationLimit(
+                        f"context bound {self.context_bound} truncated "
+                        "the witness search before it completed",
+                        stats,
+                    )
                 return None
         finally:
             # Also on ExplorationLimit: see explore() above.
             stats.seconds = time.perf_counter() - started
+            if seen is not None:
+                stats.unique_states = len(seen)
 
         worker_limit = max(1, limit - stats.states_visited)
         workers = self._dispatch(
             roots, seen, cells, worker_limit, predicate, "witness"
         )
         witness_payload = None
+        truncated = reducer is not None and reducer.truncated
         limit_error = None
         worker_error = None
         try:
-            for kind, payload, wstats, error in self._collect(workers):
+            for kind, payload, wstats, error, wtruncated in self._collect(
+                workers
+            ):
                 stats.merge(wstats)
+                truncated = truncated or wtruncated
                 if kind == "witness":
                     witness_payload = payload
                     # A witness decides the search; stop the other shards.
@@ -466,7 +663,7 @@ class ShardedParallel(SearchStrategy):
         stats.seconds = time.perf_counter() - started
         if witness_payload is not None:
             root_index, index_path = witness_payload
-            prefix_trace, root_state = roots[root_index]
+            prefix_trace, root_state = roots[root_index][:2]
             subtree_trace, final_state = replay_index_path(
                 root_state, index_path
             )
@@ -478,4 +675,10 @@ class ShardedParallel(SearchStrategy):
         if limit_error is not None:
             # No shard found a witness but one gave up: inconclusive.
             raise ExplorationLimit(limit_error, stats)
+        if truncated:
+            raise ExplorationLimit(
+                f"context bound {self.context_bound} truncated the "
+                "witness search before it completed",
+                stats,
+            )
         return None

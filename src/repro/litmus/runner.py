@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..concurrency.exhaustive import ExplorationResult
 from ..concurrency.params import DEFAULT_PARAMS, ModelParams
-from ..concurrency.search import resolve_strategy
+from ..concurrency.search import apply_reduction, resolve_strategy
 from ..concurrency.system import SystemState
 from ..isa.assembler import Assembler
 from ..isa.model import IsaModel, default_model
@@ -160,13 +160,19 @@ def run_litmus(
     params: ModelParams = DEFAULT_PARAMS,
     max_states: Optional[int] = None,
     strategy=None,
+    reduction: str = "none",
+    context_bound: Optional[int] = None,
 ) -> LitmusResult:
     """Exhaustively run one litmus test and evaluate its condition.
 
     ``strategy`` picks the search backend (a ``SearchStrategy`` instance
     or registry name; default sequential DFS) -- e.g.
     ``ShardedParallel(jobs=4)`` forks the test's own frontier across
-    worker processes.
+    worker processes.  ``reduction``/``context_bound`` apply the
+    partial-order reduction options to whichever backend runs
+    (``reduction="sleep"`` preserves the outcome envelope; a context
+    bound may truncate it, reported through ``exploration.complete`` /
+    the ``StateLimit`` status).
     """
     model = model if model is not None else default_model()
     system, addresses = build_system(test, model, params)
@@ -177,7 +183,10 @@ def run_litmus(
         (addresses[var], cell_size)
         for var in sorted(set(condition_locations(test.condition)))
     ]
-    result = resolve_strategy(strategy).explore(
+    engine = apply_reduction(
+        resolve_strategy(strategy), reduction, context_bound
+    )
+    result = engine.explore(
         system, memory_cells=cells, max_states=max_states
     )
 
@@ -212,6 +221,8 @@ def run_corpus(
     params: ModelParams = DEFAULT_PARAMS,
     max_states: Optional[int] = None,
     strategy=None,
+    reduction: str = "none",
+    context_bound: Optional[int] = None,
 ):
     """Exhaustively run a corpus of litmus tests across worker processes.
 
@@ -223,6 +234,8 @@ def run_corpus(
     intra-test frontier workers; ``strategy`` picks each test's search
     backend.  Returns a ``repro.concurrency.parallel.CorpusReport`` with
     per-test verdicts and merged ``ExplorationStats``.
+    ``reduction``/``context_bound`` apply the partial-order reduction
+    options to every test's backend.
     """
     from ..concurrency.parallel import explore_corpus
 
@@ -241,5 +254,7 @@ def run_corpus(
         jobs=jobs,
         params=params,
         max_states=max_states,
-        strategy=strategy,
+        strategy=apply_reduction(
+            resolve_strategy(strategy), reduction, context_bound
+        ),
     )

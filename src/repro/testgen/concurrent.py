@@ -343,6 +343,8 @@ def check_suite(
     params: ModelParams = DEFAULT_PARAMS,
     max_states: Optional[int] = 150_000,
     strategy=None,
+    reduction: str = "none",
+    context_bound: Optional[int] = None,
 ) -> OracleReport:
     """Run a generated suite and check every envelope invariant.
 
@@ -351,7 +353,10 @@ def check_suite(
     backend (``BoundedIterative`` turns combinatorial blowups into
     partial-outcome "StateLimit" skips with real work accounting);
     ``max_states`` bounds each test's exploration (blowups become skips,
-    not failures).
+    not failures).  ``reduction="sleep"`` prunes commuting interleavings
+    while preserving every verdict; ``context_bound`` trades
+    completeness for speed (truncated tests degrade to "StateLimit"
+    skips like budget exhaustion does).
     """
     from ..litmus.runner import run_corpus
 
@@ -361,6 +366,8 @@ def check_suite(
         params=params,
         max_states=max_states,
         strategy=strategy,
+        reduction=reduction,
+        context_bound=context_bound,
     )
     checks: List[OracleCheck] = []
     for test, result in zip(tests, report.results):

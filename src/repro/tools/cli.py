@@ -14,6 +14,9 @@ Modes:
 {sequential,sharded,bounded}`` (plus ``--shard-depth``) to pick the
 search backend; ``sharded`` forks a single test's frontier across worker
 processes (``run --jobs N``, or ``litmus FILE --jobs N`` with one file).
+All four also take ``--reduction sleep`` (verdict-preserving sleep-set
+partial-order reduction) and ``--context-bound N`` (sound
+under-approximation).
 
 The interactive mode shows Fig. 3-style system states: storage subsystem
 contents (writes seen, coherence, propagation lists, unacknowledged syncs)
@@ -50,6 +53,22 @@ def _add_strategy_args(parser: argparse.ArgumentParser) -> None:
         help="frontier split depth for --strategy sharded "
         "(levels expanded before forking workers)",
     )
+    parser.add_argument(
+        "--reduction",
+        choices=("none", "sleep"),
+        default="none",
+        help="partial-order reduction: 'sleep' prunes commuting "
+        "interleavings with sleep sets, preserving every verdict "
+        "(default none)",
+    )
+    parser.add_argument(
+        "--context-bound",
+        type=int,
+        default=None,
+        help="cut paths with more than N context switches; the result "
+        "becomes a sound under-approximation (StateLimit on "
+        "universal claims)",
+    )
 
 
 def _strategy_from(args):
@@ -59,7 +78,12 @@ def _strategy_from(args):
             f"ignored for {args.strategy}",
             file=sys.stderr,
         )
-    return make_strategy(args.strategy, shard_depth=args.shard_depth)
+    return make_strategy(
+        args.strategy,
+        shard_depth=args.shard_depth,
+        reduction=args.reduction,
+        context_bound=args.context_bound,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -257,7 +257,16 @@ class TestPartialStatsAccounting:
         with pytest.raises(ExplorationLimit) as excinfo:
             explore(system, max_states=100)
         assert excinfo.value.stats is not None
-        assert excinfo.value.stats.states_visited == 101
+        # The budget is checked *before* a state is popped and counted:
+        # partial stats equal the budget exactly (regression: the old
+        # loop counted first and reported 101).
+        assert excinfo.value.stats.states_visited == 100
+
+    def test_reduced_limit_stats_equal_budget(self, model):
+        system, _ = build_system(by_name("SB+syncs").parse(), model)
+        with pytest.raises(ExplorationLimit) as excinfo:
+            explore(system, max_states=100, reduction="sleep")
+        assert excinfo.value.stats.states_visited == 100
 
     def test_corpus_totals_count_exhausted_work(self, model):
         entry = by_name("SB+syncs")
@@ -361,6 +370,130 @@ class TestStrategyResolution:
             assert clone == strategy
 
 
+class TestReductionEquivalence:
+    """Sleep-set reduction preserves the verdict and the outcome set.
+
+    The matrix crosses reduction on/off with every backend: outcome
+    sets must be bit-identical to unreduced ``SequentialDFS`` on the
+    curated corpus and a seed-0 generated sample.
+    """
+
+    @pytest.mark.parametrize("name", FAST_NAMES)
+    def test_fast_entries_sequential(self, model, name):
+        test = by_name(name).parse()
+        reference = run_litmus(test, model)
+        reduced = run_litmus(test, model, reduction="sleep")
+        assert reduced.exploration.complete, name
+        assert reduced.status == reference.status, name
+        assert reduced.outcomes == reference.outcomes, name
+        assert reduced.witnessed == reference.witnessed, name
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [None, ShardedParallel(jobs=2, shard_depth=3), BoundedIterative()],
+        ids=lambda s: "sequential" if s is None else s.name,
+    )
+    def test_strategy_matrix(self, model, strategy):
+        for name in ("MP", "SB+syncs", "R"):
+            test = by_name(name).parse()
+            reference = run_litmus(test, model)
+            reduced = run_litmus(
+                test, model, strategy=strategy, reduction="sleep"
+            )
+            label = f"{name} reduced via {strategy}"
+            assert reduced.exploration.complete, label
+            assert reduced.status == reference.status, label
+            assert reduced.outcomes == reference.outcomes, label
+
+    def test_gen_seed0_sample(self, model):
+        from repro.litmus import diy
+
+        for generated in diy.generate(0, 8, max_threads=2):
+            reference = run_litmus(generated.test, model)
+            reduced = run_litmus(generated.test, model, reduction="sleep")
+            label = generated.name
+            assert reduced.status == reference.status, label
+            assert reduced.outcomes == reference.outcomes, label
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", SLOW_SAMPLE)
+    def test_slow_sample_entries(self, model, name):
+        test = by_name(name).parse()
+        reference = run_litmus(test, model)
+        reduced = run_litmus(test, model, reduction="sleep")
+        assert reduced.status == reference.status, name
+        assert reduced.outcomes == reference.outcomes, name
+
+    def test_reduction_visits_fewer_states(self, model):
+        test = by_name("SB+syncs").parse()
+        reference = run_litmus(test, model)
+        reduced = run_litmus(test, model, reduction="sleep")
+        assert (
+            reduced.exploration.stats.states_visited
+            < reference.exploration.stats.states_visited
+        )
+
+    def test_unique_states_accounted(self, model):
+        result = run_litmus(by_name("MP").parse(), model)
+        stats = result.exploration.stats
+        assert 0 < stats.unique_states <= stats.states_visited
+
+
+class TestContextBound:
+    def test_context_bound_flags_partial(self, model):
+        test = by_name("SB+syncs").parse()
+        full = run_litmus(test, model)
+        bounded = run_litmus(test, model, context_bound=1)
+        assert not bounded.exploration.complete
+        assert bounded.outcomes <= full.outcomes
+
+    def test_ample_context_bound_is_complete(self, model):
+        test = by_name("MP").parse()
+        full = run_litmus(test, model)
+        bounded = run_litmus(test, model, context_bound=64)
+        assert bounded.exploration.complete
+        assert bounded.outcomes == full.outcomes
+
+
+class TestStablePartitioning:
+    """Root-to-worker assignment must not depend on PYTHONHASHSEED."""
+
+    _SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.concurrency.search.sharded import _stable_digest
+from repro.isa.model import default_model
+from repro.litmus.library import by_name
+from repro.litmus.runner import build_system
+system, _ = build_system(by_name("MP").parse(), default_model())
+digests = [_stable_digest(system.key())]
+for transition in system.enumerate_transitions():
+    digests.append(_stable_digest(system.apply(transition).key()))
+print(",".join(str(d) for d in digests))
+"""
+
+    def test_digests_identical_across_hash_seeds(self, tmp_path):
+        import subprocess
+        import sys as sys_module
+
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src",
+        )
+        script = tmp_path / "digest_probe.py"
+        script.write_text(self._SCRIPT.format(src=src))
+        outputs = []
+        for seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            proc = subprocess.run(
+                [sys_module.executable, str(script)],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outputs.append(proc.stdout.strip())
+        assert outputs[0] == outputs[1]
+        assert outputs[0]  # non-empty: the probe really ran
+
+
 class TestCliStrategyFlags:
     def _write(self, tmp_path, name):
         path = tmp_path / f"{name}.litmus"
@@ -386,6 +519,13 @@ class TestCliStrategyFlags:
                       ["--strategy", "sharded", "--jobs", "2"]):
             assert main(["run", path, *extra]) == 0
             assert "Test MP: Allowed" in capsys.readouterr().out
+
+    def test_run_command_with_reduction(self, tmp_path, capsys):
+        from repro.tools.cli import main
+
+        path = self._write(tmp_path, "MP")
+        assert main(["run", path, "--reduction", "sleep"]) == 0
+        assert "Test MP: Allowed" in capsys.readouterr().out
 
     def test_gen_check_accepts_strategy(self, capsys):
         from repro.tools.cli import main
