@@ -12,6 +12,7 @@ Usage::
         [--suite e6|gen] [--strategy sequential|sharded|bounded]
         [--intra-jobs N] [--shard-depth D]
         [--reduction none|sleep] [--context-bound N]
+        [--sail-backend compiled|interp]
 
 ``--suite gen`` runs the diy-generated two-thread suite instead of the
 curated E6 family, appending a generated-suite throughput entry to the
@@ -205,6 +206,13 @@ def main(argv=None) -> int:
         default=None,
         help="context-switch bound (sound under-approximation)",
     )
+    parser.add_argument(
+        "--sail-backend",
+        choices=("compiled", "interp"),
+        default=None,
+        help="Sail execution backend for the ISA model (default: the "
+        "model's resolved default, PPCMEM2_SAIL_BACKEND env or 'compiled')",
+    )
     args = parser.parse_args(argv)
 
     from repro.concurrency.search import make_strategy
@@ -243,7 +251,19 @@ def main(argv=None) -> int:
         strategy_record["shard_depth"] = strategy.shard_depth
         if resolved_jobs <= 1 or not ShardedParallel.can_fork():
             strategy_record["effective"] = "sequential"
-    per_test, total = run_suite(suite=args.suite, strategy=strategy)
+
+    from repro.isa.model import IsaModel, resolve_sail_backend
+
+    sail_backend = resolve_sail_backend(args.sail_backend)
+    model = IsaModel(sail_backend=sail_backend)
+    per_test, total = run_suite(
+        model=model, suite=args.suite, strategy=strategy
+    )
+
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        cpus = os.cpu_count() or 1
 
     trajectory = []
     if os.path.exists(args.output):
@@ -267,6 +287,10 @@ def main(argv=None) -> int:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "suite": args.suite,
         "strategy": strategy_record,
+        "sail_backend": sail_backend,
+        # Usable cores when the entry was recorded: wall-seconds of
+        # sharded entries are only comparable at equal core counts.
+        "cpus": cpus,
         "per_test": per_test,
         "total": total,
     }

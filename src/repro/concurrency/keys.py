@@ -56,17 +56,20 @@ class CachedKey:
         return f"CachedKey({self.value!r})"
 
 
-#: Bounded intern table: finished-instance key tuple -> shared CachedKey.
+#: Bounded intern table: CachedKey -> the canonical (first-seen) CachedKey.
+#: Keyed by the ``CachedKey`` itself rather than the raw tuple so the probe
+#: reuses the hash computed at construction instead of re-walking the value.
 _INTERN_LIMIT = 1 << 15
-_interned: Dict[Tuple, CachedKey] = {}
+_interned: Dict[CachedKey, CachedKey] = {}
 
 
 def intern_key(value) -> CachedKey:
     """Return a canonical ``CachedKey`` for ``value`` (bounded intern table)."""
-    key = _interned.get(value)
-    if key is None:
-        if len(_interned) >= _INTERN_LIMIT:
-            _interned.clear()
-        key = CachedKey(value)
-        _interned[value] = key
+    key = CachedKey(value)
+    found = _interned.get(key)
+    if found is not None:
+        return found
+    if len(_interned) >= _INTERN_LIMIT:
+        _interned.clear()
+    _interned[key] = key
     return key

@@ -209,11 +209,18 @@ def outcome_of(
     static_cache: Optional[Dict[int, FrozenSet[str]]] = None,
 ) -> List[Outcome]:
     registers = []
+    by_tid: Dict[int, List[str]] = {}
     for tid, name in registers_of_interest(system, static_cache):
-        value = system.threads[tid].final_register_value(system.model, name)
-        registers.append(
-            (tid, name, value.to_int() if value.is_known else None)
+        by_tid.setdefault(tid, []).append(name)
+    for tid, names in by_tid.items():
+        values = system.threads[tid].final_register_values(
+            system.model, names
         )
+        for name in names:
+            value = values[name]
+            registers.append(
+                (tid, name, value.to_int() if value.is_known else None)
+            )
     register_part = tuple(registers)
     cells = list(memory_cells)
     if not cells:

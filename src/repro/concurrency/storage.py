@@ -33,7 +33,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..sail.values import Bits
 from .events import INITIAL_TID, BarrierEvent, BarrierId, Write, WriteId
-from .keys import CachedKey
+from .keys import CachedKey, intern_key
 
 #: An entry of a propagation list: ("w", WriteId) or ("b", BarrierId).
 Event = Tuple[str, object]
@@ -79,6 +79,7 @@ class StorageSubsystem:
         "_writes_key",
         "_coh_key",
         "_events_keys",
+        "_events_tuple",
         "_syncs_key",
         "_atomic_key",
         "_cp_key",
@@ -115,6 +116,9 @@ class StorageSubsystem:
         self._events_keys: Dict[int, CachedKey] = {
             tid: _EMPTY_EVENTS_KEY for tid in self.threads
         }
+        #: The (tid, events-key) tuple assembled into ``key()``; rebuilt only
+        #: when a propagation list grows instead of on every ``key()`` call.
+        self._events_tuple: Optional[Tuple] = None
         #: Per-thread (position, event) list of barrier events, so Group-A
         #: prefix checks scan the few barriers instead of the whole list.
         self._barrier_prefix: Dict[int, List[Tuple[int, Event]]] = {
@@ -171,10 +175,14 @@ class StorageSubsystem:
                 **self._barrier_prefix,
                 tid: self._barrier_prefix[tid] + [(len(events), event)],
             }
+        # Interned: equal propagation lists reached along different
+        # interleavings yield the *same* chain-key object, so seen-set
+        # equality on storage keys short-circuits on identity.
         self._events_keys = {
             **self._events_keys,
-            tid: CachedKey((self._events_keys[tid], event)),
+            tid: intern_key((self._events_keys[tid], event)),
         }
+        self._events_tuple = None
         self._key_cache = None
         self._transitions_cache = None
 
@@ -213,6 +221,7 @@ class StorageSubsystem:
         other._writes_key = self._writes_key
         other._coh_key = self._coh_key
         other._events_keys = self._events_keys
+        other._events_tuple = self._events_tuple
         other._syncs_key = self._syncs_key
         other._atomic_key = self._atomic_key
         other._cp_key = self._cp_key
@@ -229,23 +238,32 @@ class StorageSubsystem:
         if cached is not None:
             return cached
         if self._writes_key is None:
-            self._writes_key = CachedKey(tuple(sorted(self.writes_seen)))
+            self._writes_key = intern_key(tuple(sorted(self.writes_seen)))
         if self._coh_key is None:
-            self._coh_key = CachedKey(tuple(
+            self._coh_key = intern_key(tuple(
                 (wid, tuple(sorted(succ)))
                 for wid, succ in sorted(self.coherence_after.items())
                 if succ
             ))
-        events_keys = self._events_keys
+        events_tuple = self._events_tuple
+        if events_tuple is None:
+            events_keys = self._events_keys
+            events_tuple = tuple(
+                (tid, events_keys[tid]) for tid in self.threads
+            )
+            self._events_tuple = events_tuple
         self.syncs_key()
         if self._atomic_key is None:
-            self._atomic_key = CachedKey(tuple(sorted(self.atomic_pairs)))
+            self._atomic_key = intern_key(tuple(sorted(self.atomic_pairs)))
         if self._cp_key is None:
-            self._cp_key = CachedKey(tuple(sorted(self.coherence_points)))
+            self._cp_key = intern_key(tuple(sorted(self.coherence_points)))
+        # The composite is nearly unique per state (propagation lists move
+        # every transition): plain CachedKey, no interning, so the bounded
+        # intern table keeps the recurring component keys instead.
         cached = CachedKey((
             self._writes_key,
             self._coh_key,
-            tuple((tid, events_keys[tid]) for tid in self.threads),
+            events_tuple,
             self._syncs_key,
             self._atomic_key,
             self._cp_key,
@@ -602,7 +620,7 @@ class StorageSubsystem:
         """
         cached = self._syncs_key
         if cached is None:
-            cached = CachedKey((
+            cached = intern_key((
                 tuple(sorted(self.unacknowledged_syncs)),
                 tuple(sorted(self.acknowledged_syncs)),
             ))

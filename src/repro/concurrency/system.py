@@ -25,7 +25,7 @@ the unoptimised transition system for the ablation benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..isa.model import IsaModel
@@ -41,7 +41,7 @@ from ..sail.outcomes import (
 )
 from ..sail.values import Bits, FALSE, TRUE
 from .events import BarrierEvent, BarrierId, Write, WriteId, initial_write
-from .keys import CachedKey
+from .keys import CachedKey, intern_key
 from .params import DEFAULT_PARAMS, ModelParams
 from .storage import StorageSubsystem
 from .thread import (
@@ -68,7 +68,11 @@ class Transition:
     tid: Optional[int] = None
     ioid: Optional[Ioid] = None
     detail: tuple = ()
-    label: str = ""
+    #: Human-readable description for traces.  Excluded from equality and
+    #: hashing: it is a pure function of the comparing fields, and keys over
+    #: transitions (sleep sets, trace serialisation) should not hash the
+    #: string.
+    label: str = field(default="", compare=False)
 
     def __str__(self) -> str:
         return self.label or self.kind
@@ -212,6 +216,9 @@ class SystemState:
                     [threads[tid].key() for tid in self._sorted_tids]
                 )
                 self._threads_key = threads_key
+            # Not interned: system keys are unique per state, so interning
+            # them would only churn the bounded intern table and evict the
+            # genuinely shared thread/instance keys on large searches.
             cached = CachedKey((threads_key, self.storage.key()))
             self._key_cache = cached
         return cached
@@ -273,17 +280,18 @@ class SystemState:
     # Eager closure
     # ------------------------------------------------------------------
 
-    def eager_closure(self, dirty: Optional[Iterable[int]] = None) -> None:
+    def eager_closure(self, dirty: Optional[Dict[int, int]] = None) -> None:
         """Take all deterministic thread-local steps to a fixpoint.
 
         Eager steps are thread-local: whether an instance can progress
         depends only on its own thread's state and on the storage
         subsystem's set of acknowledged syncs.  A state produced by
         ``apply`` therefore only needs to re-close the threads the
-        transition touched (``dirty``), plus any thread whose sync is
-        acknowledged during the closure -- every other thread was already at
-        its fixpoint in the parent state and nothing it depends on changed.
-        ``dirty=None`` (the initial closure) processes every thread.
+        transition touched (``dirty``, a tid -> start-index map), plus any
+        thread whose sync is acknowledged during the closure -- every other
+        thread was already at its fixpoint in the parent state and nothing
+        it depends on changed.  ``dirty=None`` (the initial closure)
+        processes every thread from index 0.
         """
         #: tid -> smallest instance index still to process (0 = the whole
         #: thread).  Instances are processed in creation (= program-order-
@@ -292,9 +300,10 @@ class SystemState:
         #: the same pass) and the acknowledged-sync set -- so after one full
         #: pass only instances *fetched during the pass* can still step, and
         #: after an acknowledgement only the sync's own thread can.
-        work: Dict[int, int] = {
-            tid: 0 for tid in (self.threads if dirty is None else dirty)
-        }
+        work: Dict[int, int] = (
+            {tid: 0 for tid in self.threads} if dirty is None
+            else dict(dirty)
+        )
         iterations = 0
         while True:
             iterations += 1
@@ -324,7 +333,13 @@ class SystemState:
             for bid in sorted(self.storage.unacknowledged_syncs):
                 if self.storage.can_acknowledge_sync(bid):
                     self._own_storage().acknowledge_sync(bid, checked=True)
-                    next_work[bid.tid] = 0
+                    # The acknowledgement can unblock the sync instruction's
+                    # own finish and, transitively, only its po-successors
+                    # (all at higher creation indexes).
+                    start = bid.ioid[1]
+                    next_work[bid.tid] = min(
+                        next_work.get(bid.tid, start), start
+                    )
             if not next_work:
                 return
             work = next_work
@@ -542,13 +557,6 @@ class SystemState:
     # Commit / finish conditions
     # ------------------------------------------------------------------
 
-    def _po_previous_branches_finished(self, thread, instance) -> bool:
-        return all(
-            pred.finished
-            for pred in thread.po_previous(instance)
-            if pred.is_branch
-        )
-
     def _register_sources_finished(self, thread, instance) -> bool:
         for record in instance.reg_reads:
             for source in record.sources:
@@ -557,78 +565,60 @@ class SystemState:
                     return False
         return True
 
-    def _po_previous_footprints_determined(self, thread, instance) -> bool:
-        """Every po-previous memory access has a determined, *stable* footprint.
-
-        Stability: the register reads that fed the address (``addr_sources``)
-        come from finished instructions, so no restart can move the access.
-        """
-        for pred in thread.po_previous(instance):
-            if not pred.is_memory_access:
-                continue
-            if not pred.memory_footprint_determined(self.model):
-                return False
-            for source in pred.addr_sources:
-                source_instance = thread.instances.get(source)
-                if source_instance is None or not source_instance.finished:
-                    return False
-        return True
-
-    def _po_previous_overlapping_finished(
-        self, thread, instance, footprints: List[Tuple[int, int]]
-    ) -> bool:
-        for pred in thread.po_previous(instance):
-            for addr, size in footprints:
-                if pred.may_access_memory(self.model, addr, size):
-                    if not pred.finished:
-                        return False
-        return True
-
     def _sync_acked(self, instance) -> bool:
         bid = BarrierId(instance.tid, instance.ioid)
         return bid in self.storage.acknowledged_syncs
 
-    def _po_previous_barriers_ok_for_commit(
-        self, thread, instance, is_store: bool
-    ) -> bool:
-        for pred in thread.po_previous(instance):
-            kinds = pred.static_barrier_kinds()
-            if not kinds:
-                continue
-            if "sync" in kinds:
-                if not (pred.barrier_committed and self._sync_acked(pred)):
-                    return False
-            if "lwsync" in kinds or ("eieio" in kinds and is_store):
-                if not pred.barrier_committed:
-                    return False
-            if "isync" in kinds and not pred.finished:
-                return False
-        return True
-
     def _can_finish(self, thread, instance) -> bool:
-        """Generic instruction finish (the paper's commit) conditions."""
+        """Generic instruction finish (the paper's commit) conditions.
+
+        One fused walk over the program-order predecessors checks, per
+        predecessor: speculation (branches must have resolved), footprint
+        stability of earlier memory accesses (determined addresses fed only
+        by finished sources), overlapping earlier accesses finished before a
+        load finishes, and the barrier conditions (sync committed+acked,
+        lwsync committed, isync finished).  The conjunction equals the
+        previous per-condition walks, but the predecessor chain (and its
+        dict lookups) is traversed once instead of up to four times.
+        """
         if instance.mos[0] != MOS_DONE:
             return False
         if instance.mem_writes and not instance.writes_committed:
             return False  # stores finish through the commit-store transition
         if instance.is_storage_barrier and not instance.barrier_committed:
             return False
-        if not self._po_previous_branches_finished(thread, instance):
-            return False
         if not self._register_sources_finished(thread, instance):
             return False
-        if instance.is_memory_access:
-            if not self._po_previous_footprints_determined(thread, instance):
+        model = self.model
+        is_mem = instance.is_memory_access
+        has_reads = bool(instance.mem_reads)
+        footprints = instance.read_footprints() if has_reads else ()
+        instances = thread.instances
+        for pred in thread.po_previous(instance):
+            if pred.is_branch and not pred.finished:
                 return False
-        if instance.mem_reads:
-            if not self._po_previous_overlapping_finished(
-                thread, instance, instance.read_footprints()
-            ):
-                return False
-            if not self._po_previous_barriers_ok_for_commit(
-                thread, instance, is_store=False
-            ):
-                return False
+            if is_mem and pred.is_memory_access:
+                if not pred.memory_footprint_determined(model):
+                    return False
+                for source in pred.addr_sources:
+                    source_instance = instances.get(source)
+                    if source_instance is None or not source_instance.finished:
+                        return False
+            if has_reads:
+                if not pred.finished:
+                    for addr, size in footprints:
+                        if pred.may_access_memory(model, addr, size):
+                            return False
+                kinds = pred.static_barrier_kinds()
+                if kinds:
+                    if "sync" in kinds and not (
+                        pred.barrier_committed and self._sync_acked(pred)
+                    ):
+                        return False
+                    if "lwsync" in kinds and not pred.barrier_committed:
+                        return False
+                    if "isync" in kinds and not pred.finished:
+                        return False
         return True
 
     def _do_finish(self, thread, instance) -> None:
@@ -636,24 +626,42 @@ class SystemState:
         self._prune_untaken(thread, instance)
 
     def _can_commit_store(self, thread, instance) -> bool:
+        # Fused predecessor walk; see ``_can_finish`` for the rationale.
         if instance.mos[0] != MOS_DONE or not instance.mem_writes:
             return False
         if instance.writes_committed:
             return False
-        if not self._po_previous_branches_finished(thread, instance):
-            return False
         if not self._register_sources_finished(thread, instance):
             return False
-        if not self._po_previous_footprints_determined(thread, instance):
-            return False
-        if not self._po_previous_overlapping_finished(
-            thread, instance, instance.performed_write_footprints()
-        ):
-            return False
-        if not self._po_previous_barriers_ok_for_commit(
-            thread, instance, is_store=True
-        ):
-            return False
+        model = self.model
+        footprints = instance.performed_write_footprints()
+        instances = thread.instances
+        for pred in thread.po_previous(instance):
+            if pred.is_branch and not pred.finished:
+                return False
+            if pred.is_memory_access:
+                if not pred.memory_footprint_determined(model):
+                    return False
+                for source in pred.addr_sources:
+                    source_instance = instances.get(source)
+                    if source_instance is None or not source_instance.finished:
+                        return False
+            if not pred.finished:
+                for addr, size in footprints:
+                    if pred.may_access_memory(model, addr, size):
+                        return False
+            kinds = pred.static_barrier_kinds()
+            if kinds:
+                if "sync" in kinds and not (
+                    pred.barrier_committed and self._sync_acked(pred)
+                ):
+                    return False
+                if (
+                    "lwsync" in kinds or "eieio" in kinds
+                ) and not pred.barrier_committed:
+                    return False
+                if "isync" in kinds and not pred.finished:
+                    return False
         return True
 
     def _can_commit_barrier(self, thread, instance) -> bool:
@@ -661,9 +669,9 @@ class SystemState:
             return False
         if instance.barrier_committed or instance.mos[0] != MOS_DONE:
             return False
-        if not self._po_previous_branches_finished(thread, instance):
-            return False
         for pred in thread.po_previous(instance):
+            if pred.is_branch and not pred.finished:
+                return False
             if pred.is_store:
                 # Stores ahead of the barrier must be fully performed and
                 # committed so they land in the barrier's Group A.
@@ -932,14 +940,14 @@ class SystemState:
         transitions: List[Transition] = []
         events_pos = storage._events_pos
         writes_seen = storage.writes_seen
+        threads = storage.threads
         for wid in storage.sorted_wids():
-            write = writes_seen[wid]
-            origin = write.tid
+            origin = wid.tid
             event = ("w", wid)
             origin_pos = events_pos.get(origin)
             if origin_pos is None or event not in origin_pos:
                 continue  # initial write, or not committed by its thread
-            for tid in storage.threads:
+            for tid in threads:
                 # Inlined cheap rejections (already propagated / own thread)
                 # before the full precondition check.
                 if tid == origin or event in events_pos[tid]:
@@ -951,32 +959,34 @@ class SystemState:
                             tid=tid,
                             detail=(wid,),
                             label=(
-                                f"propagate {write}"
+                                f"propagate {writes_seen[wid]}"
                                 f" to thread {tid}"
                             ),
                         )
                     )
-        for bid in storage.sorted_bids():
-            for tid in storage.threads:
-                if storage.can_propagate_barrier(bid, tid):
-                    barrier = storage.barriers_seen[bid]
+        if storage.barriers_seen:
+            for bid in storage.sorted_bids():
+                for tid in threads:
+                    if storage.can_propagate_barrier(bid, tid):
+                        barrier = storage.barriers_seen[bid]
+                        transitions.append(
+                            Transition(
+                                kind="propagate_barrier",
+                                tid=tid,
+                                detail=(bid,),
+                                label=f"propagate {barrier} to thread {tid}",
+                            )
+                        )
+        if storage.unacknowledged_syncs:
+            for bid in sorted(storage.unacknowledged_syncs):
+                if storage.can_acknowledge_sync(bid):
                     transitions.append(
                         Transition(
-                            kind="propagate_barrier",
-                            tid=tid,
+                            kind="ack_sync",
                             detail=(bid,),
-                            label=f"propagate {barrier} to thread {tid}",
+                            label=f"acknowledge sync {bid}",
                         )
                     )
-        for bid in sorted(storage.unacknowledged_syncs):
-            if storage.can_acknowledge_sync(bid):
-                transitions.append(
-                    Transition(
-                        kind="ack_sync",
-                        detail=(bid,),
-                        label=f"acknowledge sync {bid}",
-                    )
-                )
         coherence_points = storage.coherence_points
         for wid in storage.sorted_wids():
             if wid in coherence_points:
@@ -1027,21 +1037,38 @@ class SystemState:
         return options
 
     def _can_commit_store_conditional(self, thread, instance) -> bool:
-        if not self._po_previous_branches_finished(thread, instance):
-            return False
+        # Fused predecessor walk; see ``_can_finish`` for the rationale.
         if not self._register_sources_finished(thread, instance):
             return False
-        if not self._po_previous_footprints_determined(thread, instance):
-            return False
+        model = self.model
         _, addr, size, _, _ = instance.mos
-        if not self._po_previous_overlapping_finished(
-            thread, instance, [(addr, size)]
-        ):
-            return False
-        if not self._po_previous_barriers_ok_for_commit(
-            thread, instance, is_store=True
-        ):
-            return False
+        instances = thread.instances
+        for pred in thread.po_previous(instance):
+            if pred.is_branch and not pred.finished:
+                return False
+            if pred.is_memory_access:
+                if not pred.memory_footprint_determined(model):
+                    return False
+                for source in pred.addr_sources:
+                    source_instance = instances.get(source)
+                    if source_instance is None or not source_instance.finished:
+                        return False
+            if not pred.finished and pred.may_access_memory(
+                model, addr, size
+            ):
+                return False
+            kinds = pred.static_barrier_kinds()
+            if kinds:
+                if "sync" in kinds and not (
+                    pred.barrier_committed and self._sync_acked(pred)
+                ):
+                    return False
+                if (
+                    "lwsync" in kinds or "eieio" in kinds
+                ) and not pred.barrier_committed:
+                    return False
+                if "isync" in kinds and not pred.finished:
+                    return False
         return True
 
     # ------------------------------------------------------------------
@@ -1060,13 +1087,21 @@ class SystemState:
                 state.eager_closure(dirty)
         return state
 
-    def _dirty_threads(self, transition: Transition) -> Tuple[int, ...]:
-        """Threads whose eager fixpoint the transition may have disturbed.
+    def _dirty_threads(self, transition: Transition) -> Dict[int, int]:
+        """tid -> closure start index for threads the transition disturbed.
 
         Propagation and coherence-point transitions change only storage-side
         state that no eager (thread-local) step reads; the sync
         acknowledgements they may enable are re-checked by the closure
         itself, which then dirties the acknowledged sync's thread.
+
+        A thread transition mutates only its own instance (plus storage and
+        the thread's reservation, neither of which eager steps read), and an
+        instance's eager enablement depends on itself and its po-ancestor
+        chain only.  Creation indexes are po-compatible -- every child is
+        created after its parent -- so a lower-index instance is never
+        po-after the mutated one and its enablement is undisturbed: the
+        closure can start scanning at the transition's own instance.
         """
         kind = transition.kind
         if kind in (
@@ -1076,10 +1111,11 @@ class SystemState:
             "resolve_sc",
             "commit_barrier",
         ):
-            return (transition.tid,)
+            return {transition.tid: transition.ioid[1]}
         if kind == "ack_sync":
-            return (transition.detail[0].tid,)
-        return ()
+            bid = transition.detail[0]
+            return {bid.tid: bid.ioid[1]}
+        return {}
 
     def _apply_in_place(self, transition: Transition) -> None:
         kind = transition.kind

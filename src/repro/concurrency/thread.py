@@ -454,7 +454,11 @@ class ThreadState:
         cached = self._key_cache
         if cached is None:
             instances = self.instances
-            cached = CachedKey((
+            # Interned: equal thread states recur along converging
+            # interleavings, and identity-equal thread keys let the seen-set
+            # equality walk stop one level down instead of comparing every
+            # instance key pairwise.
+            cached = intern_key((
                 self.tid,
                 tuple(
                     [instances[ioid].key() for ioid in self.sorted_ioids()]
@@ -632,11 +636,8 @@ class ThreadState:
     # Final register state
     # ------------------------------------------------------------------
 
-    def final_register_value(self, model: IsaModel, reg: str) -> Bits:
-        """Architected value of ``reg`` after all instructions finished."""
-        info = model.registry.shape_of_instance(reg)
-        value = self.initial_registers.get(reg, Bits.zeros(info.width))
-        # After pruning, the tree is a single committed path from the root.
+    def _committed_path(self) -> List["InstructionInstance"]:
+        """The single committed root-to-leaf path of a final thread state."""
         path: List[InstructionInstance] = []
         current = self.root
         while current is not None:
@@ -648,16 +649,33 @@ class ThreadState:
             if len(children) > 1:
                 raise ModelError("unresolved speculation in final state")
             current = children[0]
-        for instance in path:
+        return path
+
+    def final_register_value(self, model: IsaModel, reg: str) -> Bits:
+        """Architected value of ``reg`` after all instructions finished."""
+        return self.final_register_values(model, (reg,))[reg]
+
+    def final_register_values(
+        self, model: IsaModel, regs: Iterable[str]
+    ) -> Dict[str, Bits]:
+        """Architected values of ``regs``, walking the committed path once."""
+        infos = {reg: model.registry.shape_of_instance(reg) for reg in regs}
+        values = {
+            reg: self.initial_registers.get(reg, Bits.zeros(info.width))
+            for reg, info in infos.items()
+        }
+        for instance in self._committed_path():
             for record in instance.reg_writes:
-                if record.slice.reg != reg:
+                reg = record.slice.reg
+                info = infos.get(reg)
+                if info is None:
                     continue
-                value = value.update_slice(
+                values[reg] = values[reg].update_slice(
                     record.slice.lo - info.start,
                     record.slice.hi - info.start,
                     record.value,
                 )
-        return value
+        return values
 
     def all_finished(self) -> bool:
         return all(inst.finished for inst in self.instances.values())

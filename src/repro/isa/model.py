@@ -11,16 +11,40 @@ interpreter-state hashing relies on).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..sail.analysis import Footprint, FootprintAnalysis
 from ..sail.ast import FunctionClause
+from ..sail.compile import CompiledBackend, CompiledState
 from ..sail.interp import Interp, InterpState, initial_state, resume
 from ..sail.parser import parse_execute_clause
 from .defs import ALL_SPECS
 from .registers import Registry, power_registry
 from .spec import DecodeTable, InstructionSpec
+
+#: Environment switch for the Sail execution backend, read when a model is
+#: constructed without an explicit ``sail_backend`` (the CLI/bench paths).
+SAIL_BACKEND_ENV = "PPCMEM2_SAIL_BACKEND"
+
+#: Default execution backend: the ahead-of-time compiled bodies
+#: (``sail/compile.py``); ``"interp"`` selects the reference CEK
+#: interpreter.  Both produce bit-identical outcome sequences (pinned by
+#: ``tests/test_sail_compile.py``).
+DEFAULT_SAIL_BACKEND = "compiled"
+
+_SAIL_BACKENDS = ("compiled", "interp")
+
+
+def resolve_sail_backend(explicit: Optional[str] = None) -> str:
+    """The backend to use: explicit argument, else environment, else default."""
+    backend = explicit or os.environ.get(SAIL_BACKEND_ENV) or DEFAULT_SAIL_BACKEND
+    if backend not in _SAIL_BACKENDS:
+        raise ValueError(
+            f"unknown sail backend {backend!r} (choose from {_SAIL_BACKENDS})"
+        )
+    return backend
 
 
 class DecodeError(Exception):
@@ -65,17 +89,19 @@ class DecodedInstruction:
 class IsaModel:
     """The complete ISA definition (decode + execute + analysis)."""
 
-    def __init__(self, specs=None):
+    def __init__(self, specs=None, sail_backend: Optional[str] = None):
         self.registry: Registry = power_registry()
         self._view = self.registry.parser_view()
         self.interp = Interp(self.registry)
         self.analysis = FootprintAnalysis(self.interp)
+        self.sail_backend = resolve_sail_backend(sail_backend)
+        self.compiled = CompiledBackend(self.registry, self.interp)
         self.table = DecodeTable(specs if specs is not None else ALL_SPECS)
         self._clauses: Dict[str, FunctionClause] = {}
         self._decode_cache: Dict[int, Optional[DecodedInstruction]] = {}
-        self._initial_cache: Dict[int, InterpState] = {}
-        self._outcome_cache: Dict[InterpState, object] = {}
-        self._resume_cache: Dict[Tuple, InterpState] = {}
+        self._initial_cache: Dict[int, object] = {}
+        self._outcome_cache: Dict[object, object] = {}
+        self._resume_cache: Dict[Tuple, object] = {}
         for spec in self.table.all_specs():
             clause = parse_execute_clause(spec.pseudocode, self._view)
             if clause.ast_name != spec.name:
@@ -118,40 +144,53 @@ class IsaModel:
     # Instruction states
     # ------------------------------------------------------------------
 
-    def initial_state(self, instruction: DecodedInstruction) -> InterpState:
-        """The Sail interpreter state at the start of the instruction.
+    def initial_state(self, instruction: DecodedInstruction):
+        """The Sail instruction state at the start of execution.
 
         Cached per opcode so instances share AST and initial state; restarts
-        (section 5) reset an instance to exactly this state.
+        (section 5) reset an instance to exactly this state.  The state's
+        concrete type depends on ``sail_backend``: a ``CompiledState`` for
+        the compiled backend, an ``InterpState`` for the interpreter -- both
+        speak the same resumable outcome protocol through
+        ``run_to_outcome`` / ``resume``.
         """
         cached = self._initial_cache.get(instruction.word)
         if cached is not None:
             return cached
         clause = self._clauses[instruction.name]
         fields = instruction.spec.field_bits(instruction.word)
-        state = initial_state(clause.body, fields)
+        if self.sail_backend == "compiled":
+            state = self.compiled.initial_state(
+                instruction.spec, clause, instruction.word, fields
+            )
+        else:
+            state = initial_state(clause.body, fields)
         self._initial_cache[instruction.word] = state
         return state
 
-    def run_to_outcome(self, state: InterpState):
+    def run_to_outcome(self, state):
         """Run ``state`` to its next externally visible outcome, memoised.
 
         ``run_to_outcome`` is a pure function of an immutable state, and the
         exhaustive explorer re-executes identical instruction states along
         every interleaving, so the concurrency model's deterministic Sail
-        stepping is served from this (bounded) cache.
+        stepping is served from this (bounded) cache.  Dispatches on the
+        state's type, so both backends' states can flow through one model.
         """
         cache = self._outcome_cache
         outcome = cache.get(state)
         if outcome is None:
             if len(cache) >= 65536:
                 cache.clear()
-            outcome = self.interp.run_to_outcome(state)
+            if type(state) is CompiledState:
+                outcome = self.compiled.run_to_outcome(state)
+            else:
+                outcome = self.interp.run_to_outcome(state)
             cache[state] = outcome
         return outcome
 
-    def resume(self, state: InterpState, value) -> InterpState:
-        """Resume a pending interpreter state with a value, memoised.
+    def resume(self, state, value):
+        """Resume a pending instruction state with a value, memoised.
 
         ``resume`` is pure, and the explorer resumes identical pending
         states with identical values along every interleaving; returning
@@ -164,7 +203,10 @@ class IsaModel:
         if resumed is None:
             if len(cache) >= 65536:
                 cache.clear()
-            resumed = resume(state, value)
+            if type(state) is CompiledState:
+                resumed = self.compiled.resume(state, value)
+            else:
+                resumed = resume(state, value)
             cache[key] = resumed
         return resumed
 
@@ -172,10 +214,27 @@ class IsaModel:
     # Footprints
     # ------------------------------------------------------------------
 
-    def footprint(
-        self, state: InterpState, cia: Optional[int] = None
-    ) -> Footprint:
-        """Exhaustive analysis of a (possibly partially executed) state."""
+    def interp_state(self, state) -> InterpState:
+        """The reference-interpreter equivalent of an instruction state.
+
+        Exhaustive lifted exploration (``fork_on_lifted`` / ``_UnknownInt``)
+        lives in the interpreter only; callers that drive it directly
+        convert compiled states here first.  Interpreter states pass
+        through unchanged.
+        """
+        if type(state) is CompiledState:
+            return self.compiled.to_interp_state(state)
+        return state
+
+    def footprint(self, state, cia: Optional[int] = None) -> Footprint:
+        """Exhaustive analysis of a (possibly partially executed) state.
+
+        Always runs on the reference interpreter (the ``fork_on_lifted`` /
+        ``_UnknownInt`` machinery lives there); compiled states are
+        converted by replaying their recorded values first.
+        """
+        if type(state) is CompiledState:
+            state = self.compiled.to_interp_state(state)
         return self.analysis.analyze(state, cia)
 
     def static_footprint(

@@ -41,9 +41,11 @@ class Registry:
     def __init__(self) -> None:
         self._registers: Dict[str, RegisterInfo] = {}
         self._fields: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        self._instance_shapes: Dict[str, RegisterInfo] = {}
 
     def add(self, info: RegisterInfo) -> None:
         self._registers[info.name] = info
+        self._instance_shapes.clear()
 
     def add_field(self, reg: str, field: str, lo: int, hi: int) -> None:
         self._fields[(reg, field)] = (lo, hi)
@@ -71,15 +73,27 @@ class Registry:
         return f"{name}{index}"
 
     def shape_of_instance(self, instance: str) -> RegisterInfo:
-        """Shape info for a concrete instance name (``GPR5`` -> GPR's shape)."""
+        """Shape info for a concrete instance name (``GPR5`` -> GPR's shape).
+
+        Memoised: the final-state outcome extraction resolves the same few
+        instance names for every final state of an exploration.
+        """
+        found = self._instance_shapes.get(instance)
+        if found is not None:
+            return found
         if instance in self._registers:
-            return self._registers[instance]
-        for name, info in self._registers.items():
-            if info.file_size is not None and instance.startswith(name):
-                suffix = instance[len(name):]
-                if suffix.isdigit() and int(suffix) < info.file_size:
-                    return info
-        raise KeyError(f"unknown register instance {instance}")
+            found = self._registers[instance]
+        else:
+            for name, info in self._registers.items():
+                if info.file_size is not None and instance.startswith(name):
+                    suffix = instance[len(name):]
+                    if suffix.isdigit() and int(suffix) < info.file_size:
+                        found = info
+                        break
+        if found is None:
+            raise KeyError(f"unknown register instance {instance}")
+        self._instance_shapes[instance] = found
+        return found
 
     def full_slice(self, instance: str) -> RegSlice:
         info = self.shape_of_instance(instance)

@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..sail.interp import resume
 from ..sail.outcomes import (
     Barrier,
     Done,
@@ -128,17 +127,21 @@ class SequentialMachine:
         """Execute one instruction; returns the next instruction address."""
         if instruction.is_invalid_form:
             raise SequentialError(f"invalid form: {instruction}")
-        interp = self.model.interp
-        state = self.model.initial_state(instruction)
+        # Route stepping through the model so the configured Sail backend
+        # (compiled or interpreter) drives sequential execution too, and
+        # the golden-emulator co-execution path exercises the same engine
+        # as the concurrent explorer.
+        model = self.model
+        state = model.initial_state(instruction)
         nia: Optional[int] = None
-        outcome = interp.run_to_outcome(state)
+        outcome = model.run_to_outcome(state)
         while not isinstance(outcome, Done):
             if isinstance(outcome, ReadReg):
                 if outcome.slice.reg == "CIA":
                     value = Bits.from_int(self.cia, 64)
                 else:
                     value = self.registers.read(self, outcome.slice)
-                next_state = resume(outcome.state, value)
+                next_state = model.resume(outcome.state, value)
             elif isinstance(outcome, WriteReg):
                 if outcome.slice.reg == "NIA":
                     if not outcome.value.is_known:
@@ -146,13 +149,13 @@ class SequentialMachine:
                     nia = outcome.value.to_int()
                 else:
                     self.registers.write(self, outcome.slice, outcome.value)
-                next_state = resume(outcome.state, None)
+                next_state = model.resume(outcome.state, None)
             elif isinstance(outcome, ReadMem):
                 addr = outcome.addr.to_int()
                 if outcome.kind == "reserve":
                     self.reservation = addr
                 value = self.memory.read(addr, outcome.size)
-                next_state = resume(outcome.state, value)
+                next_state = model.resume(outcome.state, value)
             elif isinstance(outcome, WriteMem):
                 addr = outcome.addr.to_int()
                 if outcome.kind == "conditional":
@@ -160,17 +163,17 @@ class SequentialMachine:
                     if success:
                         self.memory.write(addr, outcome.size, outcome.value)
                     self.reservation = None
-                    next_state = resume(outcome.state, TRUE if success else FALSE)
+                    next_state = model.resume(outcome.state, TRUE if success else FALSE)
                 else:
                     self.memory.write(addr, outcome.size, outcome.value)
                     self.reservation = None
-                    next_state = resume(outcome.state, None)
+                    next_state = model.resume(outcome.state, None)
             elif isinstance(outcome, Barrier):
                 self.barriers_seen.append(outcome.kind)
-                next_state = resume(outcome.state, None)
+                next_state = model.resume(outcome.state, None)
             else:  # pragma: no cover - exhaustive over outcome union
                 raise SequentialError(f"unexpected outcome {outcome!r}")
-            outcome = interp.run_to_outcome(next_state)
+            outcome = model.run_to_outcome(next_state)
         self.instructions_retired += 1
         return nia if nia is not None else self.cia + 4
 

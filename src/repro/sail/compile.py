@@ -1,0 +1,738 @@
+"""Ahead-of-time compilation of Sail instruction descriptions to Python.
+
+The CEK interpreter (``repro.sail.interp``) re-walks an instruction's AST
+one small step at a time on every fetch and resume.  PR 1 memoised that
+stepping, but every *first* execution of a state still pays the full
+AST-walking machinery, and every interpreter state carries a deep
+(control, environment, continuation) structure that the concurrency
+model's state keys must hash and compare.
+
+This module removes both costs: each ``FunctionClause`` body is translated
+once into a specialised Python function (via ``compile()``d source, the way
+openpower-isa's ``pywriter`` makes the vendor pseudocode executable), and
+instruction states become flat *replay records*.
+
+The outcome protocol of section 2.2 of the paper is preserved exactly:
+
+  * ``run_to_outcome`` executes the compiled body until it reaches the next
+    ``ReadReg`` / ``WriteReg`` / ``ReadMem`` / ``WriteMem`` / ``Barrier``
+    outcome, then suspends;
+  * the returned outcome's ``state`` is resumable: ``resume(state, value)``
+    supplies the value the outcome was waiting for;
+  * states are immutable and hashable, so ``IsaModel``'s ``run_to_outcome``
+    / ``resume`` memos and the concurrency model's state keys
+    (``concurrency/keys.py``) keep hitting.
+
+A ``CompiledState`` is ``(code, opcode word, resume values so far)``: the
+compiled body is deterministic given the instruction fields and the
+sequence of values fed to its outcome sites, so the value tuple *is* the
+continuation.  ``run_to_outcome`` re-executes the body from the start,
+answering outcome sites from the recorded values, and suspends (by
+exception) at the first site past the record.  Replays are cheap -- bodies
+are a handful of operations -- and the model memoises per state, so each
+distinct state replays once.  Equality and hashing are over the flat
+``(word, values)`` record instead of the interpreter's nested
+control/env/kont structure, which is what makes compiled states cheaper
+to key than interpreter states.
+
+The interpreter remains the reference implementation and the engine for
+exhaustive footprint analysis (the ``_UnknownInt`` / ``fork_on_lifted``
+mode): ``to_interp_state`` converts a compiled state back into the
+equivalent ``InterpState`` by replaying its recorded values through the
+interpreter, and ``IsaModel.footprint`` delegates there.
+
+Compiled sources are cached process-wide, keyed on the spec definition
+(name + pseudocode + field names), so every ``IsaModel`` instance shares
+the codegen work; registry-dependent constants are linked per model.
+"""
+
+from __future__ import annotations
+
+import builtins
+import keyword
+from typing import Dict, Optional, Tuple
+
+from . import ast
+from .interp import (
+    Interp,
+    InterpState,
+    SailRuntimeError,
+    _BUILTINS,
+    _binop,
+    _unop,
+    as_bits,
+    as_int,
+    initial_state as interp_initial_state,
+    resume as interp_resume,
+)
+from .outcomes import (
+    Barrier,
+    Done,
+    Outcome,
+    ReadMem,
+    ReadReg,
+    WriteMem,
+    WriteReg,
+)
+from .values import Bits, bool_to_bit, truth
+
+__all__ = [
+    "CompiledBackend",
+    "CompiledCode",
+    "CompiledState",
+    "SailCompileError",
+    "compile_clause_source",
+]
+
+
+class SailCompileError(Exception):
+    """The translator met a construct it cannot compile (a model bug)."""
+
+
+_DONE = Done()
+
+
+# ----------------------------------------------------------------------
+# Compiled states
+# ----------------------------------------------------------------------
+
+
+class CompiledState:
+    """An immutable instruction state of the compiled backend.
+
+    ``values`` is the tuple of values fed to the body's outcome sites so
+    far; ``pending`` marks a state suspended *at* an outcome site (the
+    ``state`` carried by a pending outcome), mirroring the interpreter's
+    ``_PENDING`` control.  Execution is deterministic given ``fields`` (a
+    pure function of ``word``), so ``(code, word, values, pending)`` is a
+    complete, canonical description of the state: two compiled states are
+    equal exactly when the corresponding interpreter states would be.
+    """
+
+    __slots__ = ("code", "word", "fields", "values", "pending",
+                 "_hash", "_twin", "_interp_twin")
+
+    def __init__(self, code, word, fields, values, pending):
+        self.code = code
+        self.word = word
+        self.fields = fields
+        self.values = values
+        self.pending = pending
+        self._hash = None
+        self._twin = None
+        self._interp_twin = None
+
+    def pending_twin(self) -> "CompiledState":
+        """The suspended-at-an-outcome variant of this state (cached, so
+        outcome identity is stable across memo rebuilds)."""
+        twin = self._twin
+        if twin is None:
+            twin = CompiledState(
+                self.code, self.word, self.fields, self.values, True
+            )
+            self._twin = twin
+        return twin
+
+    def resumed(self, value) -> "CompiledState":
+        if not self.pending:
+            raise SailRuntimeError("resume on a state that is not pending")
+        return CompiledState(
+            self.code, self.word, self.fields, self.values + (value,), False
+        )
+
+    def __hash__(self):
+        cached = self._hash
+        if cached is None:
+            cached = hash((self.word, self.pending, self.values))
+            self._hash = cached
+        return cached
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if not isinstance(other, CompiledState):
+            return NotImplemented
+        return (
+            self.code is other.code
+            and self.word == other.word
+            and self.pending == other.pending
+            and self.values == other.values
+        )
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        tag = "pending" if self.pending else "plain"
+        return (
+            f"<CompiledState {self.code.name} word=0x{self.word:08x} "
+            f"{tag} fed={len(self.values)}>"
+        )
+
+
+class CompiledCode:
+    """One compiled instruction body, linked against a model's registry."""
+
+    __slots__ = ("name", "fn", "source", "clause")
+
+    def __init__(self, name, fn, source, clause):
+        self.name = name
+        self.fn = fn
+        self.source = source
+        self.clause = clause
+
+
+# ----------------------------------------------------------------------
+# The replay runtime
+# ----------------------------------------------------------------------
+
+
+class _Suspend(Exception):
+    """Signals that execution reached an outcome site past the replay record."""
+
+    __slots__ = ("outcome",)
+
+    def __init__(self, outcome: Outcome):
+        self.outcome = outcome
+
+
+class _Runtime:
+    """Per-execution cursor over a state's recorded outcome values.
+
+    Outcome sites call one of the methods below; sites within the recorded
+    region return their recorded value, the first site past it raises
+    ``_Suspend`` carrying the outcome (with the pending twin as its
+    resumable state).  Coercions replicate the interpreter's
+    ``_apply_collected`` exactly; they are skipped on replay because they
+    succeeded when the value was first recorded.
+    """
+
+    __slots__ = ("values", "count", "index", "state")
+
+    def __init__(self, state: CompiledState):
+        self.values = state.values
+        self.count = len(state.values)
+        self.index = 0
+        self.state = state
+
+    def read_reg(self, reg_slice):
+        i = self.index
+        if i < self.count:
+            self.index = i + 1
+            return self.values[i]
+        raise _Suspend(ReadReg(reg_slice, self.state.pending_twin()))
+
+    def write_reg(self, reg_slice, value):
+        i = self.index
+        if i < self.count:
+            self.index = i + 1
+            return self.values[i]
+        value = (
+            as_bits(value, reg_slice.width)
+            if isinstance(value, Bits)
+            else Bits.from_int(value, reg_slice.width)
+        )
+        raise _Suspend(WriteReg(reg_slice, value, self.state.pending_twin()))
+
+    def read_mem(self, kind, addr, size):
+        i = self.index
+        if i < self.count:
+            self.index = i + 1
+            return self.values[i]
+        addr = (
+            as_bits(addr, 64)
+            if isinstance(addr, Bits)
+            else Bits.from_int(addr, 64)
+        )
+        raise _Suspend(
+            ReadMem(kind, addr, as_int(size), self.state.pending_twin())
+        )
+
+    def write_mem(self, kind, addr, size, value):
+        i = self.index
+        if i < self.count:
+            self.index = i + 1
+            return self.values[i]
+        addr = (
+            as_bits(addr, 64)
+            if isinstance(addr, Bits)
+            else Bits.from_int(addr, 64)
+        )
+        size = as_int(size)
+        value = (
+            as_bits(value, 8 * size)
+            if isinstance(value, Bits)
+            else Bits.from_int(value, 8 * size)
+        )
+        raise _Suspend(
+            WriteMem(kind, addr, size, value, self.state.pending_twin())
+        )
+
+    def barrier(self, kind):
+        i = self.index
+        if i < self.count:
+            self.index = i + 1
+            return self.values[i]
+        raise _Suspend(Barrier(kind, self.state.pending_twin()))
+
+
+# ----------------------------------------------------------------------
+# Value helpers shared by all generated bodies (semantics mirror interp.py)
+# ----------------------------------------------------------------------
+
+
+def _cond(value):
+    """Branch-condition truth, as the interpreter's concrete ``_condition``."""
+    if isinstance(value, int):
+        return bool(value)
+    if isinstance(value, Bits):
+        if value.width != 1:
+            raise SailRuntimeError(f"condition has width {value.width}")
+        return truth(value)
+    raise SailRuntimeError(f"bad condition value {value!r}")
+
+
+def _assign(old, value):
+    """Variable assignment keeps the declared width (``_F_ASSIGNVAR``)."""
+    if isinstance(old, Bits) and isinstance(value, int):
+        return Bits.from_int(value, old.width)
+    return value
+
+
+def _upd_slice(name, old, lo, hi, update):
+    """In-place bit-range update of a local (``writevarslice``)."""
+    lo, hi = as_int(lo), as_int(hi)
+    if not isinstance(old, Bits):
+        raise SailRuntimeError(f"slice assignment to non-vector {name}")
+    if isinstance(update, int):
+        update = Bits.from_int(update, hi - lo + 1)
+    return old.update_slice(lo, hi, update)
+
+
+def _slice_val(operand, lo, hi):
+    return as_bits(operand).slice(as_int(lo), as_int(hi))
+
+
+def _index_val(operand, index):
+    return as_bits(operand).bit(as_int(index))
+
+
+def _decl_bits(value, width):
+    if isinstance(value, int):
+        return Bits.from_int(value, width)
+    return as_bits(value, width)
+
+
+def _decl_int(value):
+    return as_int(value)
+
+
+def _decl_bool(value):
+    if isinstance(value, Bits):
+        return value
+    return bool_to_bit(bool(value))
+
+
+def _unknown_builtin(func, _args):
+    raise SailRuntimeError(f"unknown builtin {func}")
+
+
+def _make_reg_resolver(registry):
+    """A ``RegSpec -> RegSlice`` resolver bound to one model's registry,
+    with the interpreter's ``_resolve_regspec`` normalisation (missing
+    ``hi`` means the single bit ``lo``)."""
+
+    def _reg(name, index, lo, hi):
+        if index is not None:
+            index = as_int(index)
+        if lo is not None:
+            lo = as_int(lo)
+            hi = as_int(hi) if hi is not None else lo
+        try:
+            return registry.slice_of(name, index, lo, hi)
+        except KeyError as exc:
+            raise SailRuntimeError(str(exc))
+
+    return _reg
+
+
+#: Globals shared by every generated body (registry-independent).
+_SHARED_GLOBALS = {
+    "__builtins__": {"isinstance": builtins.isinstance},
+    "_binop": _binop,
+    "_unop": _unop,
+    "_as_int": as_int,
+    "_as_bits": as_bits,
+    "_cond": _cond,
+    "_assign": _assign,
+    "_upd_slice": _upd_slice,
+    "_slice_val": _slice_val,
+    "_index_val": _index_val,
+    "_decl_bits": _decl_bits,
+    "_decl_int": _decl_int,
+    "_decl_bool": _decl_bool,
+    "_unknown_builtin": _unknown_builtin,
+    "Bits": Bits,
+}
+
+
+# ----------------------------------------------------------------------
+# Code generation
+# ----------------------------------------------------------------------
+
+
+def _mangle(name: str) -> str:
+    """Sail identifier -> Python local.  The uniform ``v_`` prefix keeps
+    Sail names clear of keywords and of the ``_``-prefixed runtime names."""
+    if not name.isidentifier() or keyword.iskeyword(name):
+        raise SailCompileError(f"cannot compile identifier {name!r}")
+    return "v_" + name
+
+
+def _const_expr(expr: ast.Expr) -> Optional[object]:
+    """The compile-time value of a static index/range expression, if any."""
+    if expr is None:
+        return None
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    return expr  # dynamic
+
+
+class _CodeGen:
+    """Translates one clause body into Python source plus link-time tables."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lines = []
+        self.consts: Dict[str, object] = {}
+        self.regconsts: Dict[str, Tuple] = {}
+        self.builtins_used = set()
+        self._counter = 0
+
+    # -- small helpers -------------------------------------------------
+
+    def _fresh(self, prefix: str = "_t") -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _const(self, value) -> str:
+        name = f"_K{len(self.consts)}"
+        self.consts[name] = value
+        return name
+
+    def emit(self, indent: int, line: str) -> None:
+        self.lines.append("    " * indent + line)
+
+    # -- expressions ---------------------------------------------------
+
+    def regspec(self, spec: ast.RegSpec, bound) -> str:
+        """A ``RegSlice``-producing expression for a register reference.
+
+        Fully static references (constant or absent index/range) fold to a
+        link-time constant; dynamic ones resolve through the registry at
+        run time, coercing index/lo/hi in the interpreter's order.
+        """
+        parts = (spec.index, spec.lo, spec.hi)
+        static = all(p is None or isinstance(p, ast.IntLit) for p in parts)
+        if static:
+            key = (
+                spec.name,
+                None if spec.index is None else spec.index.value,
+                None if spec.lo is None else spec.lo.value,
+                None if spec.hi is None else spec.hi.value,
+            )
+            for rname, rkey in self.regconsts.items():
+                if rkey == key:
+                    return rname
+            rname = f"_KS{len(self.regconsts)}"
+            self.regconsts[rname] = key
+            return rname
+        index = "None" if spec.index is None else self.expr(spec.index, bound)
+        lo = "None" if spec.lo is None else self.expr(spec.lo, bound)
+        hi = "None" if spec.hi is None else self.expr(spec.hi, bound)
+        return f"_reg({spec.name!r}, {index}, {lo}, {hi})"
+
+    def expr(self, e: ast.Expr, bound) -> str:
+        if isinstance(e, ast.Lit):
+            return self._const(e.value)
+        if isinstance(e, ast.IntLit):
+            return repr(e.value)
+        if isinstance(e, ast.Var):
+            return _mangle(e.name)
+        if isinstance(e, ast.RegRead):
+            return f"_rt.read_reg({self.regspec(e.reg, bound)})"
+        if isinstance(e, ast.MemRead):
+            return (
+                f"_rt.read_mem({e.kind!r}, {self.expr(e.addr, bound)}, "
+                f"{self.expr(e.size, bound)})"
+            )
+        if isinstance(e, ast.StoreConditional):
+            return (
+                f"_rt.write_mem('conditional', {self.expr(e.addr, bound)}, "
+                f"{self.expr(e.size, bound)}, {self.expr(e.value, bound)})"
+            )
+        if isinstance(e, ast.Unop):
+            return f"_unop({e.op!r}, {self.expr(e.operand, bound)})"
+        if isinstance(e, ast.Binop):
+            return (
+                f"_binop({e.op!r}, {self.expr(e.left, bound)}, "
+                f"{self.expr(e.right, bound)})"
+            )
+        if isinstance(e, ast.SliceExpr):
+            return (
+                f"_slice_val({self.expr(e.operand, bound)}, "
+                f"{self.expr(e.lo, bound)}, {self.expr(e.hi, bound)})"
+            )
+        if isinstance(e, ast.IndexExpr):
+            return (
+                f"_index_val({self.expr(e.operand, bound)}, "
+                f"{self.expr(e.index, bound)})"
+            )
+        if isinstance(e, ast.Call):
+            args = ", ".join(self.expr(a, bound) for a in e.args)
+            args = f"({args},)" if e.args else "()"
+            if e.func not in _BUILTINS:
+                return f"_unknown_builtin({e.func!r}, {args})"
+            self.builtins_used.add(e.func)
+            return f"_B_{e.func}({args})"
+        if isinstance(e, ast.IfExpr):
+            return (
+                f"(({self.expr(e.then, bound)}) "
+                f"if _cond({self.expr(e.cond, bound)}) "
+                f"else ({self.expr(e.orelse, bound)}))"
+            )
+        raise SailCompileError(f"cannot compile expression {e!r}")
+
+    # -- statements ----------------------------------------------------
+
+    def stmt(self, s: ast.Stmt, indent: int, bound: set) -> None:
+        """Emit one statement; ``bound`` tracks surely-bound locals (so
+        plain-variable assignment can apply the interpreter's keep-the-
+        declared-width coercion, which needs the old value)."""
+        if isinstance(s, ast.Block):
+            if not s.body:
+                self.emit(indent, "pass")
+                return
+            for sub in s.body:
+                self.stmt(sub, indent, bound)
+            return
+        if isinstance(s, ast.Decl):
+            value = self.expr(s.init, bound)
+            name = _mangle(s.name)
+            if s.typ.kind == "bits":
+                self.emit(indent, f"{name} = _decl_bits({value}, {s.typ.width})")
+            elif s.typ.kind == "int":
+                self.emit(indent, f"{name} = _decl_int({value})")
+            elif s.typ.kind == "bool":
+                self.emit(indent, f"{name} = _decl_bool({value})")
+            else:
+                raise SailCompileError(f"unknown type {s.typ}")
+            bound.add(s.name)
+            return
+        if isinstance(s, ast.Assign):
+            self._assign_stmt(s, indent, bound)
+            return
+        if isinstance(s, ast.If):
+            self.emit(indent, f"if _cond({self.expr(s.cond, bound)}):")
+            then_bound = set(bound)
+            self.stmt(s.then, indent + 1, then_bound)
+            if s.orelse is not None:
+                else_bound = set(bound)
+                self.emit(indent, "else:")
+                self.stmt(s.orelse, indent + 1, else_bound)
+                bound |= then_bound & else_bound
+            return
+        if isinstance(s, ast.Foreach):
+            self._foreach_stmt(s, indent, bound)
+            return
+        if isinstance(s, ast.BarrierStmt):
+            self.emit(indent, f"_rt.barrier({s.kind!r})")
+            return
+        if isinstance(s, ast.Nop):
+            self.emit(indent, "pass")
+            return
+        raise SailCompileError(f"cannot compile statement {s!r}")
+
+    def _assign_stmt(self, s: ast.Assign, indent: int, bound: set) -> None:
+        lhs = s.lhs
+        if isinstance(lhs, ast.VarLHS):
+            name = _mangle(lhs.name)
+            value = self.expr(s.value, bound)
+            if lhs.name in bound:
+                self.emit(indent, f"{name} = _assign({name}, {value})")
+            else:
+                self.emit(indent, f"{name} = {value}")
+                bound.add(lhs.name)
+            return
+        if isinstance(lhs, ast.VarSliceLHS):
+            name = _mangle(lhs.name)
+            old = name if lhs.name in bound else "None"
+            self.emit(
+                indent,
+                f"{name} = _upd_slice({lhs.name!r}, {old}, "
+                f"{self.expr(lhs.lo, bound)}, {self.expr(lhs.hi, bound)}, "
+                f"{self.expr(s.value, bound)})",
+            )
+            bound.add(lhs.name)
+            return
+        if isinstance(lhs, ast.RegLHS):
+            self.emit(
+                indent,
+                f"_rt.write_reg({self.regspec(lhs.reg, bound)}, "
+                f"{self.expr(s.value, bound)})",
+            )
+            return
+        if isinstance(lhs, ast.MemLHS):
+            self.emit(
+                indent,
+                f"_rt.write_mem('plain', {self.expr(lhs.addr, bound)}, "
+                f"{self.expr(lhs.size, bound)}, {self.expr(s.value, bound)})",
+            )
+            return
+        raise SailCompileError(f"cannot compile l-value {lhs!r}")
+
+    def _foreach_stmt(self, s: ast.Foreach, indent: int, bound: set) -> None:
+        """``foreach`` mirrors the interpreter's ``_F_LOOP`` exactly: the
+        loop variable is read back (coerced) after each iteration -- a body
+        that assigns it steers the loop -- and stays unbound when the range
+        is empty."""
+        var = _mangle(s.var)
+        start = self._fresh()
+        stop = self._fresh()
+        nxt = self._fresh()
+        self.emit(indent, f"{start} = {self.expr(s.start, bound)}")
+        self.emit(indent, f"{stop} = {self.expr(s.stop, bound)}")
+        self.emit(indent, f"{start} = _as_int({start})")
+        self.emit(indent, f"{stop} = _as_int({stop})")
+        empty = f"{start} < {stop}" if s.downto else f"{start} > {stop}"
+        self.emit(indent, f"if not ({empty}):")
+        self.emit(indent + 1, f"{var} = {start}")
+        self.emit(indent + 1, "while True:")
+        body_bound = set(bound)
+        body_bound.add(s.var)
+        self.stmt(s.body, indent + 2, body_bound)
+        step = "- 1" if s.downto else "+ 1"
+        finished = f"{nxt} < {stop}" if s.downto else f"{nxt} > {stop}"
+        self.emit(indent + 2, f"{nxt} = _as_int({var}) {step}")
+        self.emit(indent + 2, f"if {finished}:")
+        self.emit(indent + 3, "break")
+        self.emit(indent + 2, f"{var} = {nxt}")
+
+
+def compile_clause_source(clause: ast.FunctionClause, field_names):
+    """Translate a clause body into (source, consts, regconsts, builtins).
+
+    Registry-independent: the returned tables are linked against a concrete
+    registry by ``CompiledBackend``.
+    """
+    gen = _CodeGen(clause.ast_name)
+    gen.emit(0, "def _exec(_rt, _f):")
+    bound = set()
+    for name in field_names:
+        gen.emit(1, f"{_mangle(name)} = _f[{name!r}]")
+        bound.add(name)
+    body_mark = len(gen.lines)
+    gen.stmt(clause.body, 1, bound)
+    if len(gen.lines) == body_mark and not field_names:
+        gen.emit(1, "pass")
+    source = "\n".join(gen.lines) + "\n"
+    return source, gen.consts, gen.regconsts, gen.builtins_used
+
+
+#: Process-wide codegen cache keyed on the spec definition, shared by all
+#: models (``IsaModel`` instances re-parse clauses, but identical pseudocode
+#: compiles to identical source).
+_SOURCE_CACHE: Dict[Tuple, Tuple] = {}
+
+
+class CompiledBackend:
+    """Per-model compiled execution engine, linked to its registry."""
+
+    def __init__(self, registry, interp: Interp):
+        self._registry = registry
+        self._interp = interp
+        self._reg = _make_reg_resolver(registry)
+        self._codes: Dict[str, CompiledCode] = {}
+        self._interp_states: Dict[CompiledState, InterpState] = {}
+
+    # -- compilation ---------------------------------------------------
+
+    def code_for(self, spec, clause: ast.FunctionClause) -> CompiledCode:
+        """The compiled body for one instruction spec (compiled lazily,
+        source shared process-wide across models)."""
+        code = self._codes.get(spec.name)
+        if code is not None:
+            return code
+        field_names = tuple(f.name for f in spec.operand_fields())
+        key = (spec.name, spec.pseudocode, field_names)
+        cached = _SOURCE_CACHE.get(key)
+        if cached is None:
+            source, consts, regconsts, builtins_used = compile_clause_source(
+                clause, field_names
+            )
+            code_obj = builtins.compile(
+                source, f"<sail:{spec.name}>", "exec"
+            )
+            cached = (source, code_obj, consts, regconsts, builtins_used)
+            _SOURCE_CACHE[key] = cached
+        source, code_obj, consts, regconsts, builtins_used = cached
+        namespace = dict(_SHARED_GLOBALS)
+        namespace.update(consts)
+        namespace["_reg"] = self._reg
+        for name in builtins_used:
+            namespace[f"_B_{name}"] = _BUILTINS[name]
+        for rname, (reg, index, lo, hi) in regconsts.items():
+            if lo is not None and hi is None:
+                hi = lo
+            try:
+                namespace[rname] = self._registry.slice_of(reg, index, lo, hi)
+            except KeyError as exc:
+                raise SailRuntimeError(str(exc))
+        exec(code_obj, namespace)
+        code = CompiledCode(spec.name, namespace["_exec"], source, clause)
+        self._codes[spec.name] = code
+        return code
+
+    # -- the outcome protocol ------------------------------------------
+
+    def initial_state(self, spec, clause, word: int, fields) -> CompiledState:
+        code = self.code_for(spec, clause)
+        return CompiledState(code, word, fields, (), False)
+
+    def run_to_outcome(self, state: CompiledState) -> Outcome:
+        """Execute to the next externally visible outcome (cf. interp)."""
+        if state.pending:
+            raise SailRuntimeError(
+                "cannot step a pending state; resume it first"
+            )
+        rt = _Runtime(state)
+        try:
+            state.code.fn(rt, state.fields)
+        except _Suspend as suspend:
+            return suspend.outcome
+        except (NameError, UnboundLocalError) as exc:
+            raise SailRuntimeError(f"unbound variable ({exc})")
+        return _DONE
+
+    def resume(self, state: CompiledState, value) -> CompiledState:
+        return state.resumed(value)
+
+    # -- interpreter delegation (footprint analysis) --------------------
+
+    def to_interp_state(self, state: CompiledState) -> InterpState:
+        """The equivalent ``InterpState``, for exhaustive footprint analysis.
+
+        Rebuilt by replaying the recorded values through the reference
+        interpreter: the values are concrete except possibly the final one
+        (a ``Bits.unknown`` injected by ``remaining_state``), and the
+        interpreter never steps past the final value here, so the replay
+        stays in concrete (non-forking) mode.
+        """
+        cached = state._interp_twin
+        if cached is not None:
+            return cached
+        current = interp_initial_state(state.code.clause.body, state.fields)
+        for value in state.values:
+            outcome = self._interp.run_to_outcome(current)
+            current = interp_resume(outcome.state, value)
+        if state.pending:
+            current = self._interp.run_to_outcome(current).state
+        state._interp_twin = current
+        return current
