@@ -108,6 +108,62 @@ def _suite_tests(suite):
     ]
 
 
+def run_service_suite(sail_backend=None):
+    """Cold-vs-warm latency of the service engine on the E6 family.
+
+    Cold: a fresh exploration through ``EnvelopeEngine.run_request``
+    (empty cache).  Warm: the identical request again -- a verdict-cache
+    hit.  Records per-test latencies, the speedup, and the hit rate;
+    asserts the warm verdict is bit-identical to the cold one before
+    recording anything.
+    """
+    import time as _time
+
+    from repro.litmus.library import by_name
+    from repro.service import EngineRequest, EnvelopeEngine, VerdictCache
+
+    cache = VerdictCache()
+    engine = EnvelopeEngine(cache=cache, sail_backend=sail_backend)
+    per_test = {}
+    total_cold = total_warm = 0.0
+    for name in REPRESENTATIVE:
+        request = EngineRequest(source=by_name(name).source, name=name)
+        started = _time.perf_counter()
+        cold = engine.run_request(request)
+        cold_seconds = _time.perf_counter() - started
+        started = _time.perf_counter()
+        warm = engine.run_request(request)
+        warm_seconds = _time.perf_counter() - started
+        if not warm.cached or warm.to_payload() != cold.to_payload():
+            raise AssertionError(
+                f"{name}: warm verdict not a bit-identical cache hit"
+            )
+        per_test[name] = {
+            "status": cold.status,
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "speedup": round(cold_seconds / warm_seconds, 1)
+            if warm_seconds
+            else None,
+        }
+        total_cold += cold_seconds
+        total_warm += warm_seconds
+    stats = cache.stats()
+    total = {
+        "cold_seconds": round(total_cold, 6),
+        "warm_seconds": round(total_warm, 6),
+        "speedup": round(total_cold / total_warm, 1) if total_warm else None,
+        "cache_hits": stats["hits"],
+        "cache_misses": stats["misses"],
+        "cache_hit_rate": round(
+            stats["hits"] / (stats["hits"] + stats["misses"]), 3
+        )
+        if stats["hits"] + stats["misses"]
+        else 0.0,
+    }
+    return per_test, total
+
+
 def run_suite(model=None, suite="e6", strategy=None):
     """Run one benchmark suite; returns (per_test, total) dicts."""
     from repro.concurrency.search import ExplorationLimit
@@ -166,7 +222,7 @@ def main(argv=None) -> int:
     parser.add_argument("--label", default=None, help="trajectory entry label")
     parser.add_argument(
         "--suite",
-        choices=("e6", "gen", "gen-wide"),
+        choices=("e6", "gen", "gen-wide", "service"),
         default="e6",
         help="e6: the representative curated family (default); "
         "gen: the diy-generated two-thread suite "
@@ -174,7 +230,9 @@ def main(argv=None) -> int:
         "gen-wide: the lifted-cap generated suite "
         f"(seed {GEN_WIDE_SEED}, size {GEN_WIDE_SIZE}, up to "
         f"{GEN_WIDE_MAX_THREADS} threads / {GEN_WIDE_MAX_RUN}-edge runs, "
-        f"state budget {GEN_WIDE_MAX_STATES})",
+        f"state budget {GEN_WIDE_MAX_STATES}); "
+        "service: cold-vs-warm verdict-cache latency of the service "
+        "engine on the e6 family",
     )
     parser.add_argument(
         "--strategy",
@@ -255,10 +313,13 @@ def main(argv=None) -> int:
     from repro.isa.model import IsaModel, resolve_sail_backend
 
     sail_backend = resolve_sail_backend(args.sail_backend)
-    model = IsaModel(sail_backend=sail_backend)
-    per_test, total = run_suite(
-        model=model, suite=args.suite, strategy=strategy
-    )
+    if args.suite == "service":
+        per_test, total = run_service_suite(sail_backend=sail_backend)
+    else:
+        model = IsaModel(sail_backend=sail_backend)
+        per_test, total = run_suite(
+            model=model, suite=args.suite, strategy=strategy
+        )
 
     try:
         cpus = len(os.sched_getaffinity(0))
@@ -275,6 +336,8 @@ def main(argv=None) -> int:
         trajectory.append(SEED_BASELINE)
     if args.suite == "e6":
         default_label = f"run-{len(trajectory)}"
+    elif args.suite == "service":
+        default_label = f"service-cold-warm-{len(trajectory)}"
     elif args.suite == "gen-wide":
         default_label = (
             f"gen-wide-seed{GEN_WIDE_SEED}-size{GEN_WIDE_SIZE}"
@@ -299,7 +362,13 @@ def main(argv=None) -> int:
         json.dump(trajectory, handle, indent=2)
         handle.write("\n")
 
-    if args.suite == "e6":
+    if args.suite == "service":
+        print(f"Service suite ({len(per_test)} tests): "
+              f"cold {total['cold_seconds']:.3f}s, "
+              f"warm {total['warm_seconds']:.4f}s "
+              f"= {total['speedup']:,}x speedup "
+              f"(hit rate {total['cache_hit_rate']:.0%})")
+    elif args.suite == "e6":
         baseline = trajectory[0]["total"]
         speedup = (
             total["transitions_per_second"] / baseline["transitions_per_second"]

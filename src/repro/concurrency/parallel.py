@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
@@ -113,10 +114,19 @@ def plan_worker_budget(budget: int, test_count: int) -> Tuple[int, int]:
     executor when the plan calls for intra sharding, and
     ``ShardedParallel`` itself degrades to sequential search inside any
     worker that cannot fork (daemonic pools, no ``fork`` method).
+
+    Boundary shapes: a budget *smaller* than the test count gives every
+    worker exactly one intra job (``(budget, 1)`` -- never 0, never more
+    workers than budget), and an empty corpus plans ``(1, 1)`` instead
+    of handing the whole budget to work that does not exist.  The
+    invariant is ``corpus_jobs * intra_jobs <= max(budget, 1)`` with
+    both components >= 1.
     """
     if budget < 1:
         raise ValueError(f"jobs must be >= 1, got {budget}")
-    corpus_jobs = min(budget, max(1, test_count))
+    if test_count <= 0:
+        return 1, 1
+    corpus_jobs = min(budget, test_count)
     intra_jobs = max(1, budget // corpus_jobs)
     return corpus_jobs, intra_jobs
 
@@ -126,6 +136,79 @@ def _init_worker() -> None:
     from ..isa.model import default_model
 
     default_model()
+
+
+# ----------------------------------------------------------------------
+# Graceful worker shutdown
+# ----------------------------------------------------------------------
+#
+# A corpus run interrupted mid-``pool.map`` (KeyboardInterrupt at the
+# CLI, SIGTERM against the serve daemon) used to leak its children: the
+# parent unwound, the workers kept exploring.  Every live pool now
+# registers an abort handle; ``explore_corpus`` aborts its own pool on
+# the way out of an interrupt, and ``shutdown_active_pools`` lets a
+# signal handler (the daemon's SIGTERM path) terminate-and-join whatever
+# is running from outside the exploring thread.
+
+_ACTIVE_POOLS: Set["_PoolHandle"] = set()
+_ACTIVE_POOLS_LOCK = threading.Lock()
+
+
+class _PoolHandle:
+    """Terminate-and-join control over one worker pool.
+
+    Wraps either a ``multiprocessing.Pool`` or a
+    ``concurrent.futures.ProcessPoolExecutor`` (whose API has no
+    ``terminate``; its children are killed directly).
+    """
+
+    def __init__(self, pool=None, executor=None):
+        self._pool = pool
+        self._executor = executor
+
+    def abort(self) -> None:
+        """Terminate every child process and reap it."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+        if self._executor is not None:
+            processes = list(
+                getattr(self._executor, "_processes", {}).values()
+            )
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            try:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+            except TypeError:  # pragma: no cover - Python < 3.9
+                self._executor.shutdown(wait=False)
+            for process in processes:
+                process.join(timeout=5)
+
+
+def _register_pool(handle: "_PoolHandle") -> "_PoolHandle":
+    with _ACTIVE_POOLS_LOCK:
+        _ACTIVE_POOLS.add(handle)
+    return handle
+
+
+def _unregister_pool(handle: "_PoolHandle") -> None:
+    with _ACTIVE_POOLS_LOCK:
+        _ACTIVE_POOLS.discard(handle)
+
+
+def shutdown_active_pools() -> int:
+    """Terminate-and-join every live corpus pool; returns how many.
+
+    Installed behind the serve daemon's SIGTERM handler and usable from
+    any cleanup path that must not strand worker children.
+    """
+    with _ACTIVE_POOLS_LOCK:
+        handles = list(_ACTIVE_POOLS)
+        _ACTIVE_POOLS.clear()
+    for handle in handles:
+        handle.abort()
+    return len(handles)
 
 
 def _run_task(task: Task) -> CorpusTestResult:
@@ -233,16 +316,35 @@ def explore_corpus(
             # run the intra-test shard fan-out planned above.
             from concurrent.futures import ProcessPoolExecutor
 
-            with ProcessPoolExecutor(
+            executor = ProcessPoolExecutor(
                 max_workers=corpus_jobs,
                 mp_context=context,
                 initializer=_init_worker,
-            ) as executor:
+            )
+            handle = _register_pool(_PoolHandle(executor=executor))
+            try:
                 results = list(executor.map(_run_task, tasks, chunksize=1))
+                executor.shutdown()
+            except BaseException:
+                # KeyboardInterrupt/SIGTERM unwinding must not strand
+                # the children mid-exploration.
+                handle.abort()
+                raise
+            finally:
+                _unregister_pool(handle)
         else:
-            with context.Pool(
+            pool = context.Pool(
                 processes=corpus_jobs, initializer=_init_worker
-            ) as pool:
+            )
+            handle = _register_pool(_PoolHandle(pool=pool))
+            try:
                 results = pool.map(_run_task, tasks, chunksize=1)
+                pool.close()
+                pool.join()
+            except BaseException:
+                handle.abort()
+                raise
+            finally:
+                _unregister_pool(handle)
     wall = time.perf_counter() - started
     return CorpusReport(results=results, jobs=corpus_jobs, wall_seconds=wall)

@@ -24,7 +24,9 @@ drastically smaller search.
 strategy; ``make_strategy`` builds one by name with tuning options (the
 CLI's ``--strategy`` / ``--shard-depth`` / ``--reduction`` /
 ``--context-bound``); ``apply_reduction`` rebuilds an existing strategy
-with reduction options applied.
+with reduction options applied; ``build_strategy`` composes all of the
+above into the one construction path shared by the CLI, the litmus
+runner, the testgen harness, and the service engine.
 """
 
 from __future__ import annotations
@@ -116,6 +118,45 @@ def resolve_strategy(spec=None, **options) -> SearchStrategy:
     raise TypeError(f"not a search strategy: {spec!r}")
 
 
+def build_strategy(
+    spec=None,
+    jobs: Optional[int] = None,
+    shard_depth: Optional[int] = None,
+    reduction: str = "none",
+    context_bound: Optional[int] = None,
+) -> SearchStrategy:
+    """One-stop strategy construction shared by every query entry point.
+
+    Accepts whatever the caller has -- ``None``, a registry name, or a
+    pre-built ``SearchStrategy`` -- and applies the common tuning
+    options uniformly: ``jobs``/``shard_depth`` retune a sharded
+    backend, ``reduction``/``context_bound`` rebuild any backend with
+    the pruning options.  This replaces the
+    ``apply_reduction(resolve_strategy(...))`` combinations that used to
+    be spelled out separately in the CLI, the litmus runner, and the
+    testgen harness; the service engine keys its verdict cache off the
+    instance this returns.
+    """
+    if isinstance(spec, str):
+        return make_strategy(
+            spec,
+            jobs=jobs,
+            shard_depth=shard_depth,
+            reduction=reduction,
+            context_bound=context_bound,
+        )
+    strategy = resolve_strategy(spec)
+    if isinstance(strategy, ShardedParallel):
+        updates = {}
+        if jobs is not None:
+            updates["jobs"] = jobs
+        if shard_depth is not None:
+            updates["shard_depth"] = shard_depth
+        if updates:
+            strategy = dataclasses.replace(strategy, **updates)
+    return apply_reduction(strategy, reduction, context_bound)
+
+
 __all__ = [
     "BoundedIterative",
     "ExplorationLimit",
@@ -130,6 +171,7 @@ __all__ = [
     "ShardedParallel",
     "Witness",
     "apply_reduction",
+    "build_strategy",
     "make_reducer",
     "make_strategy",
     "outcome_of",

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..concurrency.exhaustive import ExplorationResult
 from ..concurrency.params import DEFAULT_PARAMS, ModelParams
-from ..concurrency.search import apply_reduction, resolve_strategy
+from ..concurrency.search import build_strategy
 from ..concurrency.system import SystemState
 from ..isa.assembler import Assembler
 from ..isa.model import IsaModel, default_model
@@ -98,6 +98,19 @@ class LitmusResult:
         return regs, mem
 
 
+def addresses_for(test: LitmusTest) -> Dict[str, int]:
+    """The deterministic data-segment layout of a test's variables.
+
+    Shared by ``build_system`` and the service engine (which decodes
+    cached outcome sets back to variable names without rebuilding the
+    system state).
+    """
+    return {
+        var: DATA_BASE + i * DATA_STRIDE
+        for i, var in enumerate(test.locations())
+    }
+
+
 def build_system(
     test: LitmusTest,
     model: Optional[IsaModel] = None,
@@ -108,10 +121,7 @@ def build_system(
     assembler = Assembler(model)
     cell_size = 8 if test.doubleword else 4
 
-    addresses = {
-        var: DATA_BASE + i * DATA_STRIDE
-        for i, var in enumerate(test.locations())
-    }
+    addresses = addresses_for(test)
 
     program_memory: Dict[int, int] = {}
     entries: Dict[int, int] = {}
@@ -183,8 +193,8 @@ def run_litmus(
         (addresses[var], cell_size)
         for var in sorted(set(condition_locations(test.condition)))
     ]
-    engine = apply_reduction(
-        resolve_strategy(strategy), reduction, context_bound
+    engine = build_strategy(
+        strategy, reduction=reduction, context_bound=context_bound
     )
     result = engine.explore(
         system, memory_cells=cells, max_states=max_states
@@ -254,7 +264,7 @@ def run_corpus(
         jobs=jobs,
         params=params,
         max_states=max_states,
-        strategy=apply_reduction(
-            resolve_strategy(strategy), reduction, context_bound
+        strategy=build_strategy(
+            strategy, reduction=reduction, context_bound=context_bound
         ),
     )

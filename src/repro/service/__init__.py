@@ -1,0 +1,32 @@
+"""Envelope-checking as a service: engine, verdict cache, daemon, client.
+
+The query path is layered (see SERVICE.md):
+
+* ``engine`` -- ``EnvelopeEngine.run_request(request) -> Verdict``, the
+  one façade every entry point (CLI verbs, corpus runner, testgen
+  harness, daemon) calls; ``run_batch`` schedules many requests across
+  worker processes;
+* ``cache`` -- the persistent content-hash-keyed verdict store;
+* ``daemon``/``client`` -- ``ppcmem2 serve`` and ``ppcmem2 client``,
+  the HTTP service and its thin stdlib client;
+* ``smoke`` -- the self-contained CI smoke (daemon up, batch twice,
+  second run must be all cache hits with identical verdicts).
+"""
+
+from .cache import SCHEMA_VERSION, VerdictCache, cache_key
+from .engine import (
+    BatchResult,
+    EngineRequest,
+    EnvelopeEngine,
+    Verdict,
+)
+
+__all__ = [
+    "BatchResult",
+    "EngineRequest",
+    "EnvelopeEngine",
+    "SCHEMA_VERSION",
+    "Verdict",
+    "VerdictCache",
+    "cache_key",
+]

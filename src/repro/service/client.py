@@ -1,0 +1,154 @@
+"""HTTP client for the ``ppcmem2 serve`` daemon.
+
+``ServiceClient`` wraps the small JSON protocol (stdlib ``urllib``
+only), and is what ``ppcmem2 client`` drives so the familiar CLI verbs
+can run against a warm daemon instead of paying cold-start exploration:
+
+    ppcmem2 serve --port 8765 --cache verdicts.sqlite &
+    ppcmem2 client run TEST.litmus        # synchronous, cache-backed
+    ppcmem2 client submit suite/*.litmus --wait
+    ppcmem2 client stats
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .daemon import DEFAULT_HOST, DEFAULT_PORT
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the daemon (carries the decoded body)."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]):
+        super().__init__(
+            f"service error {status}: {payload.get('error', payload)}"
+        )
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    def __init__(
+        self,
+        url: Optional[str] = None,
+        timeout: float = 600.0,
+    ):
+        self.base_url = (url or f"http://{DEFAULT_HOST}:{DEFAULT_PORT}").rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, json.JSONDecodeError):
+                body = {"error": str(exc)}
+            raise ServiceError(exc.code, body) from None
+
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def submit(
+        self,
+        tests: Sequence[Tuple[Optional[str], str]] = (),
+        options: Optional[Dict[str, Any]] = None,
+        gen: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Submit a batch of (name, source) tests and/or a generator spec."""
+        body: Dict[str, Any] = {
+            "tests": [
+                {"name": name, "source": source} for name, source in tests
+            ]
+        }
+        if options:
+            body["options"] = options
+        if gen:
+            body["gen"] = gen
+        return self._request("POST", "/v1/jobs", body)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def results(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/results")
+
+    def wait(
+        self, job_id: str, timeout: float = 600.0, poll: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll until the job finishes; returns its results payload."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["state"] == "done":
+                return self.results(job_id)
+            if status["state"] == "failed":
+                raise ServiceError(500, status)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def query(
+        self,
+        source: str,
+        name: Optional[str] = None,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Run one test synchronously (microseconds on a cache hit)."""
+        body: Dict[str, Any] = {"source": source}
+        if name:
+            body["name"] = name
+        if options:
+            body["options"] = options
+        return self._request("POST", "/v1/query", body)
+
+
+def format_verdict(payload: Dict[str, Any]) -> List[str]:
+    """Render one verdict payload in the ``ppcmem2 run`` output shape."""
+    stats = payload.get("stats", {})
+    lines = [
+        f"Test {payload['name']}: {payload['status']}"
+        + ("  [cached]" if payload.get("cached") else ""),
+        f"States: {stats.get('states_visited', 0)}  "
+        f"final: {stats.get('final_states', 0)}  "
+        f"time: {stats.get('seconds', 0.0):.2f}s",
+    ]
+    for text, satisfied in payload.get("outcome_lines", []):
+        marker = "*" if satisfied else " "
+        lines.append(f"  {marker} {text}")
+    witnessed = payload.get("witnessed")
+    lines.append(
+        f"Condition ({payload.get('quantifier')}): "
+        f"{'witnessed' if witnessed else 'never satisfied'}"
+    )
+    if payload.get("error"):
+        lines.append(f"  !! {payload['error']}")
+    return lines

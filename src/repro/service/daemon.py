@@ -1,0 +1,373 @@
+"""``ppcmem2 serve``: the long-running envelope-checking daemon.
+
+A stdlib-only HTTP service (``http.server.ThreadingHTTPServer``) in
+front of one ``EnvelopeEngine`` with a persistent ``VerdictCache``:
+
+* ``POST /v1/jobs`` submits a batch -- litmus sources and/or a generator
+  spec -- onto an async job queue; a background scheduler thread drains
+  the queue, running each batch through ``EnvelopeEngine.run_batch``
+  (which fans cache misses across worker processes under the
+  ``plan_worker_budget`` policy);
+* ``GET /v1/jobs/<id>`` polls status, ``GET /v1/jobs/<id>/results``
+  fetches the verdicts once done;
+* ``POST /v1/query`` answers one test synchronously (a cache hit
+  returns in microseconds -- the "millionth user asking about MP+syncs"
+  path);
+* ``GET /v1/health`` / ``GET /v1/stats`` report liveness, cache
+  hit/miss counters and queue depths.
+
+Shutdown is graceful: SIGTERM/SIGINT stop the HTTP loop, drain-stop the
+scheduler, and terminate-and-join any in-flight corpus worker pools via
+``concurrency.parallel.shutdown_active_pools`` -- the same handler that
+keeps Ctrl-C from leaking exploration children at the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional
+
+from .cache import SCHEMA_VERSION, VerdictCache
+from .engine import EngineRequest, EnvelopeEngine
+
+#: Default bind address of the service.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+
+
+@dataclass
+class Job:
+    """One submitted batch and its lifecycle."""
+
+    id: str
+    state: str = "queued"  # queued | running | done | failed
+    submitted: float = 0.0
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    test_count: int = 0
+    requests: List[EngineRequest] = field(default_factory=list)
+    verdicts: List[dict] = field(default_factory=list)
+    hits: int = 0
+    misses: int = 0
+    jobs_used: int = 0
+    error: Optional[str] = None
+
+    def summary(self) -> Dict[str, Any]:
+        info: Dict[str, Any] = {
+            "job": self.id,
+            "state": self.state,
+            "tests": self.test_count,
+        }
+        if self.state in ("done", "failed"):
+            info["seconds"] = round(
+                (self.finished or 0.0) - (self.started or 0.0), 6
+            )
+            info["cache_hits"] = self.hits
+            info["cache_misses"] = self.misses
+            info["workers"] = self.jobs_used
+        if self.error:
+            info["error"] = self.error
+        return info
+
+
+class ServiceDaemon:
+    """Engine + cache + job queue behind an HTTP front-end."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        cache_path: str = ":memory:",
+        jobs: Optional[int] = None,
+        sail_backend: Optional[str] = None,
+    ):
+        self.cache = VerdictCache(cache_path)
+        self.engine = EnvelopeEngine(cache=self.cache, sail_backend=sail_backend)
+        self.worker_budget = jobs
+        self._jobs: Dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._queue: "queue.Queue[str]" = queue.Queue()
+        self._job_counter = 0
+        self._stop = threading.Event()
+        self._scheduler: Optional[threading.Thread] = None
+        self._server = _Server((host, port), _Handler)
+        self._server.daemon_ref = self
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self):
+        """The bound (host, port) -- port is resolved when 0 was asked."""
+        return self._server.server_address[:2]
+
+    def start_scheduler(self) -> None:
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="ppcmem2-scheduler", daemon=True
+        )
+        self._scheduler.start()
+
+    def serve_forever(self, install_signal_handlers: bool = True) -> None:
+        """Run until SIGTERM/SIGINT (blocking; the CLI entry point)."""
+        if install_signal_handlers:
+            # The handler must not call the blocking ``shutdown`` from
+            # the thread running ``serve_forever`` (it would deadlock),
+            # so it hands off to a one-shot thread.
+            def _on_signal(signum, frame):
+                threading.Thread(target=self.shutdown, daemon=True).start()
+
+            signal.signal(signal.SIGTERM, _on_signal)
+            signal.signal(signal.SIGINT, _on_signal)
+        self.start_scheduler()
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop the HTTP loop, the scheduler, and any worker children."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        self._server.shutdown()
+        self._server.server_close()
+        if self._scheduler is not None and self._scheduler.is_alive():
+            self._scheduler.join(timeout=10)
+        from ..concurrency.parallel import shutdown_active_pools
+
+        shutdown_active_pools()
+        self.cache.close()
+
+    # ------------------------------------------------------------------
+    # Job queue
+    # ------------------------------------------------------------------
+
+    def submit(self, body: Dict[str, Any]) -> Job:
+        """Queue a batch from a decoded ``POST /v1/jobs`` body."""
+        requests = self._requests_from_body(body)
+        if not requests:
+            raise ValueError("empty job: no tests and no gen spec")
+        with self._jobs_lock:
+            self._job_counter += 1
+            job = Job(
+                id=f"job-{self._job_counter}",
+                submitted=time.time(),
+                test_count=len(requests),
+                requests=requests,
+            )
+            self._jobs[job.id] = job
+        self._queue.put(job.id)
+        return job
+
+    def _requests_from_body(self, body: Dict[str, Any]) -> List[EngineRequest]:
+        options = body.get("options") or {}
+        requests: List[EngineRequest] = []
+        for item in body.get("tests") or []:
+            requests.append(
+                EngineRequest.from_options(
+                    source=item["source"],
+                    name=item.get("name"),
+                    options=options,
+                )
+            )
+        gen = body.get("gen")
+        if gen:
+            from ..litmus.diy import generate
+
+            tests = generate(
+                int(gen.get("seed", 0)),
+                int(gen.get("size", 20)),
+                max_threads=int(gen.get("max_threads", 4)),
+                max_run=int(gen.get("max_run", 2)),
+            )
+            for test in tests:
+                requests.append(
+                    EngineRequest.from_options(
+                        source=test.source, name=test.name, options=options
+                    )
+                )
+        return requests
+
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def job_counts(self) -> Dict[str, int]:
+        with self._jobs_lock:
+            counts: Dict[str, int] = {}
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def _scheduler_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            job = self.job(job_id)
+            if job is None:  # pragma: no cover - jobs are never deleted
+                continue
+            job.state = "running"
+            job.started = time.time()
+            try:
+                batch = self.engine.run_batch(
+                    job.requests, jobs=self.worker_budget
+                )
+            except Exception as exc:  # noqa: BLE001 - reported to the client
+                job.state = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.finished = time.time()
+                continue
+            job.verdicts = [
+                dict(verdict.to_payload(), cached=verdict.cached)
+                for verdict in batch.verdicts
+            ]
+            job.hits = batch.hits
+            job.misses = batch.misses
+            job.jobs_used = batch.jobs
+            job.state = "done"
+            job.finished = time.time()
+
+    # ------------------------------------------------------------------
+    # Synchronous query
+    # ------------------------------------------------------------------
+
+    def query(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        request = EngineRequest.from_options(
+            source=body["source"],
+            name=body.get("name"),
+            options=body.get("options") or {},
+        )
+        verdict = self.engine.run_request(request)
+        return dict(verdict.to_payload(), cached=verdict.cached)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "cache": self.cache.stats(),
+            "jobs": self.job_counts(),
+            "queue_depth": self._queue.qsize(),
+            "worker_budget": self.worker_budget,
+            "sail_backend": self.engine.sail_backend,
+        }
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    daemon_ref: Optional[ServiceDaemon] = None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # Quiet by default: the daemon logs submissions, not every poll.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    @property
+    def daemon(self) -> ServiceDaemon:
+        return self.server.daemon_ref  # type: ignore[attr-defined]
+
+    def _send(self, code: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        return json.loads(raw.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["v1", "health"]:
+            self._send(
+                200,
+                {
+                    "ok": True,
+                    "schema": SCHEMA_VERSION,
+                    "cache_entries": len(self.daemon.cache),
+                },
+            )
+            return
+        if parts == ["v1", "stats"]:
+            self._send(200, self.daemon.stats())
+            return
+        if len(parts) >= 3 and parts[:2] == ["v1", "jobs"]:
+            job = self.daemon.job(parts[2])
+            if job is None:
+                self._send(404, {"error": f"no such job {parts[2]!r}"})
+                return
+            if len(parts) == 3:
+                self._send(200, job.summary())
+                return
+            if parts[3] == "results":
+                if job.state != "done":
+                    self._send(
+                        409, dict(job.summary(), error="job not done")
+                    )
+                    return
+                self._send(
+                    200, dict(job.summary(), verdicts=job.verdicts)
+                )
+                return
+        self._send(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            body = self._read_body()
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send(400, {"error": f"bad JSON body: {exc}"})
+            return
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        try:
+            if parts == ["v1", "jobs"]:
+                job = self.daemon.submit(body)
+                self._send(202, job.summary())
+                return
+            if parts == ["v1", "query"]:
+                self._send(200, self.daemon.query(body))
+                return
+        except (KeyError, ValueError, TypeError) as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        self._send(404, {"error": f"unknown path {self.path!r}"})
+
+
+def serve(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    cache_path: str = ":memory:",
+    jobs: Optional[int] = None,
+    sail_backend: Optional[str] = None,
+) -> int:
+    """CLI entry point: run the daemon until SIGTERM/SIGINT."""
+    daemon = ServiceDaemon(
+        host=host,
+        port=port,
+        cache_path=cache_path,
+        jobs=jobs,
+        sail_backend=sail_backend,
+    )
+    bound_host, bound_port = daemon.address
+    print(
+        f"ppcmem2 serve: listening on http://{bound_host}:{bound_port} "
+        f"(cache {cache_path}, schema v{SCHEMA_VERSION})",
+        flush=True,
+    )
+    daemon.serve_forever()
+    print("ppcmem2 serve: shut down cleanly", flush=True)
+    return 0

@@ -1,0 +1,130 @@
+"""CI smoke for the envelope service: daemon up, batch twice, compare.
+
+Run as ``PYTHONPATH=src python -m repro.service.smoke``.  It
+
+1. starts a ``ServiceDaemon`` on an ephemeral port with a fresh
+   on-disk cache,
+2. submits a 5-test batch (the head of the curated corpus) over real
+   HTTP and waits for the verdicts,
+3. submits the *same* batch again and asserts the second run is served
+   entirely from the cache with verdicts identical field-for-field
+   (outcome sets included) to the first,
+4. cross-checks one verdict against a cache-less engine run,
+
+and exits non-zero on any mismatch, so CI fails loudly when the cache
+returns anything other than what cold exploration would have.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import threading
+import os
+
+BATCH_SIZE = 5
+
+
+def _strip_volatile(verdict: dict) -> dict:
+    """Drop fields allowed to differ between a cold run and a cache hit.
+
+    ``cached`` flips by design; ``stats`` records the *original*
+    exploration work on a hit (identical content), but ``seconds`` is a
+    wall-clock measurement so it is only identical because the hit
+    replays the stored value -- keep it, drop nothing else.
+    """
+    return {k: v for k, v in verdict.items() if k != "cached"}
+
+
+def main() -> int:
+    from ..litmus.library import corpus
+    from .client import ServiceClient
+    from .daemon import ServiceDaemon
+    from .engine import EngineRequest, EnvelopeEngine
+
+    entries = corpus()[:BATCH_SIZE]
+    tests = [(entry.name, entry.source) for entry in entries]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        daemon = ServiceDaemon(
+            port=0, cache_path=os.path.join(tmp, "verdicts.sqlite")
+        )
+        daemon.start_scheduler()
+        server_thread = threading.Thread(
+            target=daemon._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        server_thread.start()
+        host, port = daemon.address
+        client = ServiceClient(url=f"http://{host}:{port}")
+        try:
+            health = client.health()
+            assert health["ok"], health
+
+            first = client.wait(
+                client.submit(tests)["job"], timeout=600
+            )
+            second = client.wait(
+                client.submit(tests)["job"], timeout=600
+            )
+        finally:
+            daemon.shutdown()
+            server_thread.join(timeout=10)
+
+    failures = []
+    if first["cache_misses"] != BATCH_SIZE:
+        failures.append(
+            f"first submission expected {BATCH_SIZE} cold misses, "
+            f"got {first['cache_misses']}"
+        )
+    if second["cache_hits"] != BATCH_SIZE or second["cache_misses"] != 0:
+        failures.append(
+            f"second submission not fully cached: "
+            f"{second['cache_hits']} hits / {second['cache_misses']} misses"
+        )
+    for cold, warm in zip(first["verdicts"], second["verdicts"]):
+        if not warm.get("cached"):
+            failures.append(f"{warm['name']}: second verdict not from cache")
+        if _strip_volatile(cold) != _strip_volatile(warm):
+            failures.append(
+                f"{cold['name']}: cached verdict differs from cold verdict"
+            )
+
+    # Cross-check one verdict against a cache-less engine run.
+    engine = EnvelopeEngine()
+    name, source = tests[0]
+    fresh = engine.run_request(EngineRequest(source=source, name=name))
+    served = first["verdicts"][0]
+    if (
+        fresh.status != served["status"]
+        or sorted(map(repr, fresh.outcomes))
+        != sorted(
+            repr(
+                (
+                    tuple(tuple(entry) for entry in registers),
+                    tuple(tuple(cell) for cell in memory),
+                )
+            )
+            for registers, memory in served["outcomes"]
+        )
+    ):
+        failures.append(
+            f"{name}: daemon verdict differs from cache-less engine run"
+        )
+
+    statuses = {v["name"]: v["status"] for v in second["verdicts"]}
+    print(f"service smoke: {len(statuses)} tests, verdicts {statuses}")
+    if failures:
+        for failure in failures:
+            print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "service smoke ok: second submission fully cache-served, "
+        "verdicts identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

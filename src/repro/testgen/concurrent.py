@@ -345,11 +345,15 @@ def check_suite(
     strategy=None,
     reduction: str = "none",
     context_bound: Optional[int] = None,
+    engine=None,
 ) -> OracleReport:
     """Run a generated suite and check every envelope invariant.
 
-    Tests are sharded across a ``jobs`` worker budget through
-    ``litmus.runner.run_corpus``; ``strategy`` picks each test's search
+    The suite runs as one batch through the service engine
+    (``repro.service.EnvelopeEngine.run_batch``): tests are sharded
+    across a ``jobs`` worker budget, and -- when ``engine`` carries a
+    ``VerdictCache`` -- previously-decided tests are answered from the
+    cache instead of re-explored.  ``strategy`` picks each test's search
     backend (``BoundedIterative`` turns combinatorial blowups into
     partial-outcome "StateLimit" skips with real work accounting);
     ``max_states`` bounds each test's exploration (blowups become skips,
@@ -358,39 +362,44 @@ def check_suite(
     completeness for speed (truncated tests degrade to "StateLimit"
     skips like budget exhaustion does).
     """
-    from ..litmus.runner import run_corpus
+    from ..service.engine import EngineRequest, EnvelopeEngine
 
-    report = run_corpus(
-        [(test.name, test.source) for test in tests],
-        jobs=jobs,
-        params=params,
-        max_states=max_states,
-        strategy=strategy,
-        reduction=reduction,
-        context_bound=context_bound,
-    )
+    if engine is None:
+        engine = EnvelopeEngine(params=params)
+    requests = [
+        EngineRequest(
+            source=test.source,
+            name=test.name,
+            strategy=strategy,
+            reduction=reduction,
+            context_bound=context_bound,
+            max_states=max_states,
+        )
+        for test in tests
+    ]
+    batch = engine.run_batch(requests, jobs=jobs)
     checks: List[OracleCheck] = []
-    for test, result in zip(tests, report.results):
+    for test, verdict in zip(tests, batch.verdicts):
         expected, oracle = expectation_with_oracle(test.edges)
-        if result.status == "StateLimit" or expected is None:
+        if verdict.status == "StateLimit" or expected is None:
             ok: Optional[bool] = None
         else:
-            ok = result.status == expected
+            ok = verdict.status == expected
         checks.append(
             OracleCheck(
                 name=test.name,
                 family=test.family,
                 edge_names=test.edge_names,
                 expected=expected,
-                status=result.status,
+                status=verdict.status,
                 ok=ok,
-                error=result.error,
+                error=verdict.error,
                 oracle=oracle,
             )
         )
     return OracleReport(
         checks=checks,
-        jobs=report.jobs,
-        wall_seconds=report.wall_seconds,
-        stats=report.merged_stats(),
+        jobs=batch.jobs,
+        wall_seconds=batch.wall_seconds,
+        stats=batch.merged_stats(),
     )

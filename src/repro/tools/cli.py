@@ -8,15 +8,22 @@ Modes:
   * ``ppcmem2 litmus [...] --jobs N``    -- run a litmus corpus in parallel
   * ``ppcmem2 gen --seed N --size K``    -- generate a diy-style suite
     (``--check --jobs J`` oracle-checks it against envelope invariants)
+  * ``ppcmem2 serve [--port P]``         -- long-running envelope service
+    (persistent verdict cache + async batch job queue, see SERVICE.md)
+  * ``ppcmem2 client ...``               -- run the CLI verbs against a
+    warm ``serve`` daemon instead of exploring cold
   * ``ppcmem2 elf BINARY``               -- sequential execution of an ELF
 
-``run``, ``corpus``, ``litmus`` and ``gen`` take ``--strategy
-{sequential,sharded,bounded}`` (plus ``--shard-depth``) to pick the
-search backend; ``sharded`` forks a single test's frontier across worker
-processes (``run --jobs N``, or ``litmus FILE --jobs N`` with one file).
-All four also take ``--reduction sleep`` (verdict-preserving sleep-set
-partial-order reduction) and ``--context-bound N`` (sound
-under-approximation).
+The oracle verbs are thin clients of the shared service engine
+(``repro.service.EnvelopeEngine``): ``run``, ``corpus``, ``litmus`` and
+``gen`` take ``--strategy {sequential,sharded,bounded}`` (plus
+``--shard-depth``) to pick the search backend; ``sharded`` forks a
+single test's frontier across worker processes (``run --jobs N``, or
+``litmus FILE --jobs N`` with one file).  All four also take
+``--reduction sleep`` (verdict-preserving sleep-set partial-order
+reduction), ``--context-bound N`` (sound under-approximation) and
+``--cache PATH`` (persistent verdict cache: repeated queries are
+answered in microseconds).
 
 The interactive mode shows Fig. 3-style system states: storage subsystem
 contents (writes seen, coherence, propagation lists, unacknowledged syncs)
@@ -30,11 +37,20 @@ import argparse
 import sys
 from typing import List, Optional
 
-from ..concurrency.search import STRATEGIES, make_strategy
-from ..isa.model import default_model
+from ..concurrency.search import STRATEGIES
 from ..litmus.library import corpus
 from ..litmus.parser import parse_litmus
-from ..litmus.runner import build_system, run_litmus
+from ..litmus.runner import build_system
+
+
+def _add_cache_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="persistent verdict cache (sqlite file): repeated queries "
+        "with identical parameters are answered from it in microseconds",
+    )
 
 
 def _add_strategy_args(parser: argparse.ArgumentParser) -> None:
@@ -72,17 +88,43 @@ def _add_strategy_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _strategy_from(args):
+    from ..concurrency.search import build_strategy
+
     if args.shard_depth is not None and args.strategy != "sharded":
         print(
             f"warning: --shard-depth only applies to --strategy sharded; "
             f"ignored for {args.strategy}",
             file=sys.stderr,
         )
-    return make_strategy(
+    return build_strategy(
         args.strategy,
         shard_depth=args.shard_depth,
         reduction=args.reduction,
         context_bound=args.context_bound,
+    )
+
+
+def _engine_from(args):
+    """The service engine behind every oracle verb (cache optional)."""
+    from ..service.engine import EnvelopeEngine
+
+    cache = None
+    if getattr(args, "cache", None):
+        from ..service.cache import VerdictCache
+
+        cache = VerdictCache(args.cache)
+    return EnvelopeEngine(cache=cache)
+
+
+def _request_for(source, name, args, jobs=None, max_states=None):
+    from ..service.engine import EngineRequest
+
+    return EngineRequest(
+        source=source,
+        name=name,
+        strategy=_strategy_from(args),
+        jobs=jobs,
+        max_states=max_states,
     )
 
 
@@ -103,6 +145,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default: CPU count)",
     )
     _add_strategy_args(run_parser)
+    _add_cache_arg(run_parser)
 
     inter_parser = sub.add_parser(
         "interactive", help="step through a litmus test's transitions"
@@ -119,6 +162,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="number of worker processes (default 1: run in-process)",
     )
     _add_strategy_args(corpus_parser)
+    _add_cache_arg(corpus_parser)
 
     litmus_parser = sub.add_parser(
         "litmus",
@@ -142,6 +186,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--max-states", type=int, default=None, help="state budget per test"
     )
     _add_strategy_args(litmus_parser)
+    _add_cache_arg(litmus_parser)
 
     gen_parser = sub.add_parser(
         "gen",
@@ -188,6 +233,72 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="state budget per test for --check (default 150000)",
     )
     _add_strategy_args(gen_parser)
+    _add_cache_arg(gen_parser)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the long-running envelope service "
+        "(persistent verdict cache + batch job queue)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765, help="bind port (0: ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--cache",
+        default=":memory:",
+        metavar="PATH",
+        help="verdict cache sqlite file (default: in-memory, lost on exit)",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker budget per batch (default: usable CPU count)",
+    )
+
+    client_parser = sub.add_parser(
+        "client", help="talk to a running ppcmem2 serve daemon"
+    )
+    client_parser.add_argument(
+        "--url",
+        default=None,
+        help="daemon base URL (default http://127.0.0.1:8765)",
+    )
+    client_sub = client_parser.add_subparsers(dest="action", required=True)
+    client_sub.add_parser("health", help="daemon liveness + cache size")
+    client_sub.add_parser("stats", help="cache hit/miss and queue counters")
+    client_run = client_sub.add_parser(
+        "run", help="run one litmus test through the daemon (synchronous)"
+    )
+    client_run.add_argument("test", help="path to a .litmus file")
+    client_run.add_argument("--max-states", type=int, default=None)
+    _add_strategy_args(client_run)
+    client_submit = client_sub.add_parser(
+        "submit", help="submit a batch job (async; --wait polls for results)"
+    )
+    client_submit.add_argument(
+        "tests", nargs="*", help="paths to .litmus files"
+    )
+    client_submit.add_argument(
+        "--gen-seed", type=int, default=None,
+        help="also submit a generated suite with this seed",
+    )
+    client_submit.add_argument("--gen-size", type=int, default=20)
+    client_submit.add_argument("--gen-max-threads", type=int, default=4)
+    client_submit.add_argument("--gen-max-run", type=int, default=2)
+    client_submit.add_argument("--max-states", type=int, default=None)
+    client_submit.add_argument(
+        "--wait", action="store_true", help="poll until done, print verdicts"
+    )
+    client_submit.add_argument("--timeout", type=float, default=600.0)
+    _add_strategy_args(client_submit)
+    client_status = client_sub.add_parser("status", help="poll a job")
+    client_status.add_argument("job", help="job id from submit")
+    client_results = client_sub.add_parser(
+        "results", help="fetch a finished job's verdicts"
+    )
+    client_results.add_argument("job", help="job id from submit")
 
     elf_parser = sub.add_parser("elf", help="run an ELF binary sequentially")
     elf_parser.add_argument("binary", help="path to a Power64 ELF executable")
@@ -197,55 +308,54 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
     if args.command == "run":
-        from ..concurrency.search import ShardedParallel
-
-        strategy = _strategy_from(args)
-        if isinstance(strategy, ShardedParallel):
-            if args.jobs is not None:
-                import dataclasses
-
-                strategy = dataclasses.replace(strategy, jobs=args.jobs)
-        elif args.jobs is not None:
+        jobs = args.jobs
+        if args.strategy != "sharded" and jobs is not None:
             print(
                 "warning: run --jobs only applies to --strategy sharded; "
                 "running single-process",
                 file=sys.stderr,
             )
-        return _cmd_run(args.test, strategy)
+            jobs = None
+        return _cmd_run(args.test, args, jobs)
     if args.command == "interactive":
         return _cmd_interactive(args.test)
     if args.command == "corpus":
-        return _cmd_corpus(args.jobs, _strategy_from(args))
+        return _cmd_corpus(args.jobs, args)
     if args.command == "litmus":
         return _cmd_litmus(
             args.tests,
             args.corpus,
             args.jobs,
             args.max_states,
-            _strategy_from(args),
+            args,
         )
     if args.command == "gen":
         return _cmd_gen(args)
+    if args.command == "serve":
+        from ..service.daemon import serve
+
+        return serve(
+            host=args.host,
+            port=args.port,
+            cache_path=args.cache,
+            jobs=args.jobs,
+        )
+    if args.command == "client":
+        return _cmd_client(args)
     if args.command == "elf":
         return _cmd_elf(args.binary, args.max_instructions)
     return 2
 
 
-def _cmd_run(path: str, strategy=None) -> int:
+def _cmd_run(path: str, args, jobs=None) -> int:
+    from ..service.client import format_verdict
+
     with open(path) as handle:
-        test = parse_litmus(handle.read())
-    result = run_litmus(test, strategy=strategy)
-    print(f"Test {test.name}: {result.status}")
-    print(
-        f"States: {result.exploration.stats.states_visited}  "
-        f"final: {result.exploration.stats.final_states}  "
-        f"time: {result.exploration.stats.seconds:.2f}s"
-    )
-    for text, satisfied in result.outcome_table():
-        marker = "*" if satisfied else " "
-        print(f"  {marker} {text}")
-    print(f"Condition ({test.quantifier}): "
-          f"{'witnessed' if result.witnessed else 'never satisfied'}")
+        source = handle.read()
+    engine = _engine_from(args)
+    verdict = engine.run_request(_request_for(source, None, args, jobs=jobs))
+    for line in format_verdict(dict(verdict.to_payload(), cached=verdict.cached)):
+        print(line)
     return 0
 
 
@@ -283,25 +393,15 @@ def _cmd_interactive(path: str) -> int:
         step += 1
 
 
-def _cmd_corpus(jobs: int = 1, strategy=None) -> int:
+def _cmd_corpus(jobs: int = 1, args=None) -> int:
     entries = corpus()
+    engine = _engine_from(args)
+    batch = engine.run_batch(
+        [_request_for(entry.source, entry.name, args) for entry in entries],
+        jobs=jobs,
+    )
+    statuses = {v.name: v.status for v in batch.verdicts}
     sound = True
-    if jobs != 1 or (strategy is not None and strategy.name != "sequential"):
-        # Route non-default strategies through run_corpus too, so the
-        # worker-budget policy applies (a bare `--strategy sharded` must
-        # not fork CPU-count workers per test under the default --jobs 1).
-        from ..litmus.runner import run_corpus
-
-        report = run_corpus(entries, jobs=jobs, strategy=strategy)
-        statuses = {r.name: r.status for r in report.results}
-    else:
-        model = default_model()
-        statuses = {
-            entry.name: run_litmus(
-                entry.parse(), model, strategy=strategy
-            ).status
-            for entry in entries
-        }
     for entry in entries:
         status = statuses[entry.name]
         ok = status == entry.architected
@@ -312,13 +412,13 @@ def _cmd_corpus(jobs: int = 1, strategy=None) -> int:
             f"hw-observed={'yes' if entry.observed else 'no ':3s} "
             f"{'ok' if ok else 'MISMATCH'}"
         )
+    if engine.cache is not None:
+        print(f"cache: {batch.hits} hit(s), {batch.misses} miss(es)")
     return 0 if sound else 1
 
 
 def _cmd_litmus(paths, include_corpus: bool, jobs, max_states,
-                strategy=None) -> int:
-    from ..litmus.runner import run_corpus
-
+                args=None) -> int:
     entries = []
     for path in paths:
         with open(path) as handle:
@@ -326,26 +426,32 @@ def _cmd_litmus(paths, include_corpus: bool, jobs, max_states,
         test = parse_litmus(source)
         entries.append((test.name, source))
     if include_corpus or not entries:
-        entries.extend(corpus())
-    report = run_corpus(
-        entries, jobs=jobs, max_states=max_states, strategy=strategy
+        entries.extend((e.name, e.source) for e in corpus())
+    engine = _engine_from(args)
+    batch = engine.run_batch(
+        [
+            _request_for(source, name, args, max_states=max_states)
+            for name, source in entries
+        ],
+        jobs=jobs,
     )
     exhausted = 0
-    for result in report.results:
-        stats = result.stats
+    for verdict in batch.verdicts:
+        stats = verdict.stats
+        cached = " [cached]" if verdict.cached else ""
         print(
-            f"{result.name:28s} {result.status:10s} "
-            f"states={stats.states_visited:6d} "
-            f"outcomes={len(result.outcomes):4d} "
-            f"time={stats.seconds:.2f}s"
+            f"{verdict.name:28s} {verdict.status:10s} "
+            f"states={stats['states_visited']:6d} "
+            f"outcomes={len(verdict.outcomes):4d} "
+            f"time={stats['seconds']:.2f}s{cached}"
         )
-        if result.error:
+        if verdict.error:
             exhausted += 1
-            print(f"  !! {result.error}")
-    merged = report.merged_stats()
+            print(f"  !! {verdict.error}")
+    merged = batch.merged_stats()
     print(
-        f"Corpus: {len(report.results)} tests across {report.jobs} "
-        f"worker(s) in {report.wall_seconds:.2f}s wall "
+        f"Corpus: {len(batch.verdicts)} tests across {batch.jobs} "
+        f"worker(s) in {batch.wall_seconds:.2f}s wall "
         f"({merged.seconds:.2f}s exploration)"
     )
     rate = merged.transitions_taken / merged.seconds if merged.seconds else 0
@@ -355,6 +461,8 @@ def _cmd_litmus(paths, include_corpus: bool, jobs, max_states,
         f"finals={merged.final_states} deadlocks={merged.deadlocks} "
         f"rate={rate:,.0f}/s"
     )
+    if engine.cache is not None:
+        print(f"cache: {batch.hits} hit(s), {batch.misses} miss(es)")
     if exhausted:
         print(f"{exhausted} test(s) exhausted the state budget")
         return 1
@@ -395,11 +503,16 @@ def _cmd_gen(args) -> int:
 
     from ..testgen.concurrent import check_suite
 
+    extra = {}
+    if args.cache:
+        # A persistent cache turns repeated gen sweeps into lookups.
+        extra["engine"] = _engine_from(args)
     report = check_suite(
         tests,
         jobs=args.jobs,
         max_states=args.max_states,
         strategy=_strategy_from(args),
+        **extra,
     )
     # Diagnostics go to stderr: stdout stays a clean litmus stream.
     for check in report.checks:
@@ -424,6 +537,95 @@ def _cmd_gen(args) -> int:
     # Violations are oracle soundness failures: exit non-zero so CI gen
     # smoke jobs fail loudly instead of scrolling past.
     return 1 if report.violations else 0
+
+
+def _client_options(args) -> dict:
+    """JSON-safe engine options from the shared strategy flags."""
+    options = {}
+    if args.strategy != "sequential":
+        options["strategy"] = args.strategy
+    if args.shard_depth is not None:
+        options["shard_depth"] = args.shard_depth
+    if args.reduction != "none":
+        options["reduction"] = args.reduction
+    if args.context_bound is not None:
+        options["context_bound"] = args.context_bound
+    if getattr(args, "max_states", None) is not None:
+        options["max_states"] = args.max_states
+    return options
+
+
+def _cmd_client(args) -> int:
+    import json
+
+    from ..service.client import ServiceClient, ServiceError, format_verdict
+
+    client = ServiceClient(url=args.url)
+    try:
+        if args.action == "health":
+            print(json.dumps(client.health(), indent=2))
+            return 0
+        if args.action == "stats":
+            print(json.dumps(client.stats(), indent=2))
+            return 0
+        if args.action == "status":
+            print(json.dumps(client.job(args.job), indent=2))
+            return 0
+        if args.action == "results":
+            results = client.results(args.job)
+            for verdict in results["verdicts"]:
+                for line in format_verdict(verdict):
+                    print(line)
+            return 0
+        if args.action == "run":
+            with open(args.test) as handle:
+                source = handle.read()
+            verdict = client.query(source, options=_client_options(args))
+            for line in format_verdict(verdict):
+                print(line)
+            return 0
+        if args.action == "submit":
+            tests = []
+            for path in args.tests:
+                with open(path) as handle:
+                    source = handle.read()
+                tests.append((parse_litmus(source).name, source))
+            gen = None
+            if args.gen_seed is not None:
+                gen = {
+                    "seed": args.gen_seed,
+                    "size": args.gen_size,
+                    "max_threads": args.gen_max_threads,
+                    "max_run": args.gen_max_run,
+                }
+            submitted = client.submit(
+                tests, options=_client_options(args), gen=gen
+            )
+            if not args.wait:
+                print(json.dumps(submitted, indent=2))
+                return 0
+            results = client.wait(submitted["job"], timeout=args.timeout)
+            for verdict in results["verdicts"]:
+                for line in format_verdict(verdict):
+                    print(line)
+            print(
+                f"Job {results['job']}: {results['tests']} tests, "
+                f"{results['cache_hits']} cache hit(s), "
+                f"{results['cache_misses']} miss(es), "
+                f"{results['seconds']:.2f}s"
+            )
+            return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"error: cannot reach daemon at {client.base_url}: {exc} "
+            f"(start one with `ppcmem2 serve`)",
+            file=sys.stderr,
+        )
+        return 1
+    return 2
 
 
 def _cmd_elf(path: str, max_instructions: int) -> int:

@@ -309,6 +309,30 @@ class TestWorkerBudgetComposition:
         with pytest.raises(ValueError):
             plan_worker_budget(0, 3)
 
+    def test_plan_budget_smaller_than_corpus(self):
+        # Fewer workers than tests: every worker runs tests back to
+        # back sequentially; no intra-test splitting.
+        assert plan_worker_budget(2, 5) == (2, 1)
+        assert plan_worker_budget(1, 1) == (1, 1)
+        assert plan_worker_budget(7, 100) == (7, 1)
+
+    def test_plan_empty_corpus_does_not_oversubscribe(self):
+        # An empty corpus used to plan (1, budget), handing the whole
+        # budget to a pool with nothing to run.
+        assert plan_worker_budget(8, 0) == (1, 1)
+        assert plan_worker_budget(1, 0) == (1, 1)
+
+    def test_plan_never_oversubscribes_budget(self):
+        for budget in range(1, 13):
+            for test_count in range(0, 13):
+                corpus_jobs, intra_jobs = plan_worker_budget(
+                    budget, test_count
+                )
+                assert corpus_jobs >= 1 and intra_jobs >= 1
+                assert corpus_jobs * intra_jobs <= max(budget, 1), (
+                    budget, test_count, corpus_jobs, intra_jobs,
+                )
+
     def test_single_test_corpus_uses_intra_test_workers(self, model):
         # One test + jobs=2 + sharded: the budget flows to the frontier
         # workers; verdict and outcomes still match sequential.

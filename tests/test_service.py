@@ -1,0 +1,312 @@
+"""Service layer: engine façade, verdict cache, daemon, graceful shutdown.
+
+The acceptance bar for the cache is *bit-identity*: a cache hit must be
+indistinguishable (outcome sets, outcome lines, verdict, error text)
+from the exploration it memoised, across processes and
+``PYTHONHASHSEED`` values.  These tests pin that, plus the service
+round-trip over real HTTP and the terminate-and-join pool cleanup the
+daemon's SIGTERM path relies on.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.litmus.diy import generate
+from repro.litmus.emit import emit_litmus
+from repro.litmus.library import by_name
+from repro.litmus.parser import parse_litmus
+from repro.service import (
+    EngineRequest,
+    EnvelopeEngine,
+    SCHEMA_VERSION,
+    VerdictCache,
+    cache_key,
+)
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+
+
+def _canonical(name):
+    return emit_litmus(parse_litmus(by_name(name).source))
+
+
+def _comparable(payload):
+    """A verdict payload minus fields a *fresh* run may legitimately vary.
+
+    ``stats`` records wall-clock seconds, so two independent cold
+    explorations differ there; everything else -- status, outcome sets,
+    outcome lines, condition fields, error text, key -- must match
+    exactly.
+    """
+    return {k: v for k, v in payload.items() if k != "stats"}
+
+
+class TestCacheKey:
+    """The key is a pure, process-independent function of the query."""
+
+    _SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.litmus.emit import emit_litmus
+from repro.litmus.library import by_name
+from repro.litmus.parser import parse_litmus
+from repro.service import cache_key
+canonical = emit_litmus(parse_litmus(by_name("MP").source))
+print(cache_key(canonical))
+print(cache_key(canonical, strategy="sharded", reduction="sleep",
+                context_bound=3, max_states=1000, sail_backend="interp"))
+"""
+
+    def test_key_identical_across_hash_seeds(self, tmp_path):
+        script = tmp_path / "key_probe.py"
+        script.write_text(self._SCRIPT.format(src=_SRC))
+        outputs = []
+        for seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            proc = subprocess.run(
+                [sys.executable, str(script)],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outputs.append(proc.stdout.strip())
+        assert outputs[0] == outputs[1]
+        assert outputs[0]  # non-empty: the probe really ran
+        # And the in-process value matches the subprocess values.
+        assert outputs[0].splitlines()[0] == cache_key(_canonical("MP"))
+
+    def test_every_parameter_changes_the_key(self):
+        canonical = _canonical("MP")
+        base = cache_key(canonical)
+        variants = [
+            cache_key(_canonical("SB")),
+            cache_key(canonical, strategy="sharded"),
+            cache_key(canonical, reduction="sleep"),
+            cache_key(canonical, context_bound=2),
+            cache_key(canonical, max_states=100),
+            cache_key(canonical, sail_backend="interp"),
+        ]
+        keys = [base] + variants
+        assert len(set(keys)) == len(keys)
+
+    def test_formatting_differences_do_not_split_entries(self):
+        engine = EnvelopeEngine()
+        source = by_name("MP").source
+        mangled = (
+            "\n".join(line + "   " for line in source.splitlines())
+            + "\n\n\n"
+        )
+        assert engine.request_key(
+            EngineRequest(source=source)
+        ) == engine.request_key(EngineRequest(source=mangled))
+
+    def test_request_parameters_reach_the_key(self):
+        engine = EnvelopeEngine()
+        source = by_name("MP").source
+        base = engine.request_key(EngineRequest(source=source))
+        assert base != engine.request_key(
+            EngineRequest(source=source, max_states=50)
+        )
+        assert base != engine.request_key(
+            EngineRequest(source=source, reduction="sleep")
+        )
+        assert base != engine.request_key(
+            EngineRequest(source=source, strategy="bounded", context_bound=2)
+        )
+
+
+class TestVerdictCachePersistence:
+    def test_round_trip_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "verdicts.sqlite")
+        payload = {"status": "Allowed", "outcomes": [], "key": "k"}
+        cache = VerdictCache(path)
+        cache.put("k", "MP", payload)
+        cache.close()
+
+        reopened = VerdictCache(path)
+        assert len(reopened) == 1
+        assert "k" in reopened
+        assert reopened.get("k") == payload
+        stats = reopened.stats()
+        assert stats["hits"] == 1 and stats["schema"] == SCHEMA_VERSION
+        reopened.close()
+
+    def test_stale_schema_rows_miss(self, tmp_path):
+        import sqlite3
+
+        path = str(tmp_path / "verdicts.sqlite")
+        cache = VerdictCache(path)
+        cache.put("k", "MP", {"status": "Allowed"})
+        cache.close()
+        with sqlite3.connect(path) as connection:
+            connection.execute("UPDATE verdicts SET schema = schema - 1")
+            connection.commit()
+        reopened = VerdictCache(path)
+        assert reopened.get("k") is None
+        assert reopened.stats()["misses"] == 1
+        reopened.close()
+
+
+class TestEngineCacheEquivalence:
+    """Every cache hit is compared against a fresh exploration."""
+
+    def _requests(self):
+        requests = [
+            EngineRequest(source=by_name(name).source, name=name)
+            for name in ("MP", "MP+syncs", "SB", "LB+addrs")
+        ]
+        requests += [
+            EngineRequest(source=test.source, name=test.name)
+            for test in generate(0, 3, max_threads=2)
+        ]
+        return requests
+
+    def test_hits_bit_identical_to_cold_and_fresh_runs(self):
+        cached_engine = EnvelopeEngine(cache=VerdictCache())
+        fresh_engine = EnvelopeEngine()
+        for request in self._requests():
+            cold = cached_engine.run_request(request)
+            warm = cached_engine.run_request(request)
+            assert not cold.cached and warm.cached
+            # Hit vs the exploration it memoised: bit-identical,
+            # stats included (the hit replays the stored record).
+            assert warm.to_payload() == cold.to_payload()
+            # Hit vs an independent cache-less exploration: identical
+            # up to wall-clock stats.
+            fresh = fresh_engine.run_request(request)
+            assert _comparable(warm.to_payload()) == _comparable(
+                fresh.to_payload()
+            )
+            assert warm.outcomes == fresh.outcomes
+
+    def test_state_budget_verdicts_cached_under_their_own_key(self):
+        cache = VerdictCache()
+        engine = EnvelopeEngine(cache=cache)
+        source = by_name("SB+syncs").source
+        limited = EngineRequest(source=source, max_states=50)
+        full = EngineRequest(source=source)
+
+        cold = engine.run_request(limited)
+        assert cold.status == "StateLimit" and not cold.complete
+        warm = engine.run_request(limited)
+        assert warm.cached and warm.to_payload() == cold.to_payload()
+
+        unlimited = engine.run_request(full)
+        assert not unlimited.cached  # different key: budget is hashed in
+        assert unlimited.status in ("Allowed", "Forbidden", "Observed")
+        assert len(cache) == 2
+
+
+class TestRunBatch:
+    def test_batch_matches_single_requests_and_reports_hits(self):
+        requests = [
+            EngineRequest(source=by_name(name).source, name=name)
+            for name in ("MP", "SB", "LB+addrs")
+        ]
+        engine = EnvelopeEngine(cache=VerdictCache())
+        cold = engine.run_batch(requests)
+        assert (cold.hits, cold.misses) == (0, 3)
+        assert [v.name for v in cold.verdicts] == ["MP", "SB", "LB+addrs"]
+
+        warm = engine.run_batch(requests)
+        assert (warm.hits, warm.misses) == (3, 0)
+        assert all(v.cached for v in warm.verdicts)
+
+        # The corpus-runner path (batch misses) and the single-request
+        # path must produce identical verdicts, outcome lines included.
+        single = EnvelopeEngine()
+        for request, batched in zip(requests, cold.verdicts):
+            alone = single.run_request(request)
+            assert _comparable(batched.to_payload()) == _comparable(
+                alone.to_payload()
+            )
+
+
+class TestDaemonRoundTrip:
+    @pytest.fixture()
+    def service(self):
+        import threading
+
+        from repro.service.client import ServiceClient
+        from repro.service.daemon import ServiceDaemon
+
+        daemon = ServiceDaemon(port=0)
+        daemon.start_scheduler()
+        thread = threading.Thread(
+            target=daemon._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        host, port = daemon.address
+        try:
+            yield ServiceClient(url=f"http://{host}:{port}")
+        finally:
+            daemon.shutdown()
+            thread.join(timeout=10)
+
+    def test_query_twice_second_from_cache(self, service):
+        source = by_name("MP").source
+        first = service.query(source, name="MP")
+        second = service.query(source, name="MP")
+        assert first["status"] == "Allowed" and not first["cached"]
+        assert second["cached"]
+        assert _comparable(
+            {k: v for k, v in second.items() if k != "cached"}
+        ) == _comparable({k: v for k, v in first.items() if k != "cached"})
+
+    def test_submit_generated_batch_and_wait(self, service):
+        submitted = service.submit(
+            gen={"seed": 0, "size": 2, "max_threads": 2}
+        )
+        assert submitted["state"] == "queued" and submitted["tests"] >= 1
+        results = service.wait(submitted["job"], timeout=300)
+        assert results["state"] == "done"
+        assert len(results["verdicts"]) == submitted["tests"]
+        assert results["cache_misses"] == submitted["tests"]
+        for verdict in results["verdicts"]:
+            assert verdict["status"] in (
+                "Allowed", "Forbidden", "Observed", "StateLimit",
+            )
+
+    def test_errors_are_structured(self, service):
+        from repro.service.client import ServiceError
+
+        with pytest.raises(ServiceError) as excinfo:
+            service.query(by_name("MP").source, options={"bogus": 1})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            service.results("job-999")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            service.submit(tests=())  # empty job
+        assert excinfo.value.status == 400
+
+
+class TestPoolShutdown:
+    def test_shutdown_active_pools_terminates_children(self):
+        import multiprocessing
+
+        from repro.concurrency.parallel import (
+            _PoolHandle,
+            _register_pool,
+            shutdown_active_pools,
+        )
+
+        context = multiprocessing.get_context()
+        pool = context.Pool(processes=1)
+        children = list(pool._pool)
+        pool.apply_async(time.sleep, (60,))
+        _register_pool(_PoolHandle(pool=pool))
+
+        assert shutdown_active_pools() == 1
+        deadline = time.monotonic() + 10
+        while any(p.is_alive() for p in children):
+            assert time.monotonic() < deadline, "worker child leaked"
+            time.sleep(0.05)
+        # Registry is drained: a second sweep has nothing to do.
+        assert shutdown_active_pools() == 0
