@@ -9,9 +9,10 @@ baseline to compare against on the same machine.
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--output PATH] [--label L]
-        [--suite e6|gen] [--strategy sequential|sharded|bounded]
+        [--suite e6|gen|gen-wide|service]
+        [--strategy sequential|sharded|bounded]
         [--intra-jobs N] [--shard-depth D]
-        [--reduction none|sleep] [--context-bound N]
+        [--reduction none|sleep|dpor] [--symmetry] [--context-bound N]
         [--sail-backend compiled|interp]
 
 ``--suite gen`` runs the diy-generated two-thread suite instead of the
@@ -164,8 +165,15 @@ def run_service_suite(sail_backend=None):
     return per_test, total
 
 
-def run_suite(model=None, suite="e6", strategy=None):
-    """Run one benchmark suite; returns (per_test, total) dicts."""
+def run_suite(model=None, suite="e6", strategy=None, reduction="none"):
+    """Run one benchmark suite; returns (per_test, total) dicts.
+
+    ``reduction`` is recorded verbatim in every per-test entry (even
+    ``"none"``) so trajectory consumers can compare reduced and
+    unreduced entries without consulting the strategy record; the
+    per-test ``unique_states`` counter is the coverage that pairs with
+    it (canonical-key states under ``dpor``, raw keys otherwise).
+    """
     from repro.concurrency.search import ExplorationLimit
     from repro.isa.model import default_model
     from repro.litmus.runner import run_litmus
@@ -193,6 +201,7 @@ def run_suite(model=None, suite="e6", strategy=None):
             "finals": stats.final_states,
             "transitions": stats.transitions_taken,
             "unique_states": stats.unique_states,
+            "reduction": reduction,
             "seconds": round(stats.seconds, 4),
         }
         if limited:
@@ -254,15 +263,22 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--reduction",
-        choices=("none", "sleep"),
+        choices=("none", "sleep", "dpor"),
         default="none",
-        help="sleep-set partial-order reduction (verdict-preserving)",
+        help="partial-order reduction (verdict-preserving): sleep sets, "
+        "or source-DPOR over canonical state keys",
     )
     parser.add_argument(
         "--context-bound",
         type=int,
         default=None,
         help="context-switch bound (sound under-approximation)",
+    )
+    parser.add_argument(
+        "--symmetry",
+        action="store_true",
+        help="with --reduction dpor: canonicalise states modulo "
+        "detected thread symmetry",
     )
     parser.add_argument(
         "--sail-backend",
@@ -289,6 +305,7 @@ def main(argv=None) -> int:
         shard_depth=args.shard_depth,
         reduction=args.reduction,
         context_bound=args.context_bound,
+        symmetry=args.symmetry,
     )
     # Record what will actually run, not the raw CLI args: resolve the
     # worker count, and flag sharded entries that degrade to sequential
@@ -299,6 +316,8 @@ def main(argv=None) -> int:
         strategy_record["reduction"] = args.reduction
     if args.context_bound is not None:
         strategy_record["context_bound"] = args.context_bound
+    if args.symmetry:
+        strategy_record["symmetry"] = True
     if args.strategy == "sharded":
         from repro.concurrency.search import ShardedParallel
 
@@ -318,7 +337,10 @@ def main(argv=None) -> int:
     else:
         model = IsaModel(sail_backend=sail_backend)
         per_test, total = run_suite(
-            model=model, suite=args.suite, strategy=strategy
+            model=model,
+            suite=args.suite,
+            strategy=strategy,
+            reduction=args.reduction,
         )
 
     try:

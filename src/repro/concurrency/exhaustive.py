@@ -43,6 +43,7 @@ def explore(
     strategy=None,
     reduction: str = "none",
     context_bound: Optional[int] = None,
+    symmetry: bool = False,
 ) -> ExplorationResult:
     """Exhaustively enumerate all reachable final states.
 
@@ -51,10 +52,12 @@ def explore(
     ``strategy`` picks the search backend (default: sequential DFS);
     ``reduction``/``context_bound`` apply the partial-order reduction
     options to it (``"sleep"`` preserves the outcome envelope, a context
-    bound may truncate it -- reported via ``ExplorationResult.complete``).
+    bound may truncate it -- reported via ``ExplorationResult.complete``;
+    ``"dpor"`` layers source sets and canonical state keys on top, and
+    ``symmetry=True`` additionally folds permutation-equivalent threads).
     """
     return apply_reduction(
-        resolve_strategy(strategy), reduction, context_bound
+        resolve_strategy(strategy), reduction, context_bound, symmetry
     ).explore(
         initial,
         memory_cells=memory_cells,
@@ -71,6 +74,7 @@ def find_witness(
     strategy=None,
     reduction: str = "none",
     context_bound: Optional[int] = None,
+    symmetry: bool = False,
 ) -> Optional[Witness]:
     """Search for one execution whose outcome satisfies ``predicate``.
 
@@ -79,12 +83,13 @@ def find_witness(
     witnessing execution found, or None if the predicate is unsatisfiable.
     The trace is the abstract-machine run behind the outcome -- the
     executable counterpart of the paper's execution diagrams.
-    ``reduction``/``context_bound`` behave as in ``explore`` (a
-    context-truncated witness search raises instead of returning an
-    unsupported ``None``).
+    ``reduction``/``context_bound``/``symmetry`` behave as in
+    ``explore`` (a context-truncated witness search raises instead of
+    returning an unsupported ``None``; witness searches run ``dpor`` as
+    sleep sets so the returned trace is a concrete execution).
     """
     return apply_reduction(
-        resolve_strategy(strategy), reduction, context_bound
+        resolve_strategy(strategy), reduction, context_bound, symmetry
     ).find_witness(
         initial,
         predicate,

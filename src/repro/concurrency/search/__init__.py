@@ -18,7 +18,11 @@ Every backend accepts ``reduction``/``context_bound`` (see
 ``reduction``): sleep-set partial-order reduction preserves the outcome
 envelope while pruning commuting interleavings; a context bound trades
 completeness (reported via ``ExplorationResult.complete``) for a
-drastically smaller search.
+drastically smaller search.  ``reduction="dpor"`` (see ``dpor``) layers
+source sets and a canonical state-key quotient on top of sleep sets,
+and ``symmetry=True`` additionally folds permutation-equivalent threads
+into orbit representatives (sharded backends run the sleep-set
+projection; see ``sharded``).
 
 ``resolve_strategy`` turns ``None`` / a name / an instance into a
 strategy; ``make_strategy`` builds one by name with tuning options (the
@@ -67,6 +71,7 @@ def make_strategy(
     initial_budget: Optional[int] = None,
     reduction: str = "none",
     context_bound: Optional[int] = None,
+    symmetry: bool = False,
 ) -> SearchStrategy:
     """Build a strategy by registry name, applying only relevant options."""
     try:
@@ -76,7 +81,11 @@ def make_strategy(
             f"unknown search strategy {name!r} "
             f"(choose from {sorted(STRATEGIES)})"
         ) from None
-    options = {"reduction": reduction, "context_bound": context_bound}
+    options = {
+        "reduction": reduction,
+        "context_bound": context_bound,
+        "symmetry": symmetry,
+    }
     if cls is ShardedParallel:
         if jobs is not None:
             options["jobs"] = jobs
@@ -92,18 +101,22 @@ def apply_reduction(
     strategy: SearchStrategy,
     reduction: str = "none",
     context_bound: Optional[int] = None,
+    symmetry: bool = False,
 ) -> SearchStrategy:
     """A copy of ``strategy`` with the pruning options applied.
 
-    Every registered backend carries the two fields, so this is a plain
-    ``dataclasses.replace``; no-op when both options are defaults (so
-    callers can thread them unconditionally without disturbing
+    Every registered backend carries the three fields, so this is a
+    plain ``dataclasses.replace``; no-op when all options are defaults
+    (so callers can thread them unconditionally without disturbing
     explicitly pre-configured strategy instances).
     """
-    if reduction == "none" and context_bound is None:
+    if reduction == "none" and context_bound is None and not symmetry:
         return strategy
     return dataclasses.replace(
-        strategy, reduction=reduction, context_bound=context_bound
+        strategy,
+        reduction=reduction,
+        context_bound=context_bound,
+        symmetry=symmetry,
     )
 
 
@@ -124,6 +137,7 @@ def build_strategy(
     shard_depth: Optional[int] = None,
     reduction: str = "none",
     context_bound: Optional[int] = None,
+    symmetry: bool = False,
 ) -> SearchStrategy:
     """One-stop strategy construction shared by every query entry point.
 
@@ -144,6 +158,7 @@ def build_strategy(
             shard_depth=shard_depth,
             reduction=reduction,
             context_bound=context_bound,
+            symmetry=symmetry,
         )
     strategy = resolve_strategy(spec)
     if isinstance(strategy, ShardedParallel):
@@ -154,7 +169,7 @@ def build_strategy(
             updates["shard_depth"] = shard_depth
         if updates:
             strategy = dataclasses.replace(strategy, **updates)
-    return apply_reduction(strategy, reduction, context_bound)
+    return apply_reduction(strategy, reduction, context_bound, symmetry)
 
 
 __all__ = [

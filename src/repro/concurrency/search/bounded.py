@@ -47,6 +47,7 @@ from .core import (
     extend_trace,
     run_search,
 )
+from .dpor import prepare_dpor
 from .reduction import make_reducer
 from ..system import SystemState
 
@@ -59,6 +60,9 @@ class BoundedIterative(SearchStrategy):
     growth: int = 4
     reduction: str = "none"
     context_bound: Optional[int] = None
+    #: With ``reduction="dpor"``: also canonicalise state keys modulo
+    #: detected thread symmetry.  See ``SequentialDFS.symmetry``.
+    symmetry: bool = False
 
     name = "bounded"
 
@@ -81,6 +85,18 @@ class BoundedIterative(SearchStrategy):
         cells = tuple(memory_cells)
         work = ExplorationStats()
         static_cache = {}
+        dpor = make_reducer(self.reduction, self.context_bound)
+        dpor = dpor is not None and dpor.dpor
+        if dpor:
+            # One canonicaliser for every deepening iteration: symmetry
+            # detection runs once and the key memo tables carry over
+            # (each iteration re-walks a superset of its predecessor's
+            # states).  The per-search seen map stays per-iteration.
+            canon, cells, finish = prepare_dpor(
+                initial, self.symmetry, cells, collect_deadlocks
+            )
+        else:
+            canon, finish = None, None
         started = time.perf_counter()
         for budget in self._budgets(limit):
             stats = ExplorationStats()
@@ -98,6 +114,7 @@ class BoundedIterative(SearchStrategy):
                     strict_deadlocks=True,
                     seen=seen,
                     reducer=reducer,
+                    canon=canon,
                 )
             except ExplorationLimit:
                 work.merge(stats)
@@ -108,7 +125,9 @@ class BoundedIterative(SearchStrategy):
             work.unique_states = len(seen)
             work.seconds = time.perf_counter() - started
             return ExplorationResult(
-                visitor.outcomes,
+                visitor.outcomes if finish is None else finish(
+                    visitor.outcomes
+                ),
                 work,
                 visitor.deadlock_states,
                 complete=reducer is None or not reducer.truncated,
@@ -118,7 +137,10 @@ class BoundedIterative(SearchStrategy):
         # outcome set instead of raising mid-search.
         work.seconds = time.perf_counter() - started
         return ExplorationResult(
-            partial.outcomes, work, partial.deadlock_states, complete=False
+            partial.outcomes if finish is None else finish(partial.outcomes),
+            work,
+            partial.deadlock_states,
+            complete=False,
         )
 
     def find_witness(
@@ -134,10 +156,13 @@ class BoundedIterative(SearchStrategy):
         static_cache = {}
         last_error = None
         started = time.perf_counter()
+        # Witness searches downgrade dpor to sleep sets; see
+        # ``SequentialDFS.find_witness``.
+        reduction = "sleep" if self.reduction == "dpor" else self.reduction
         for budget in self._budgets(limit):
             stats = ExplorationStats()
             visitor = StopOnWitness(predicate, cells, static_cache=static_cache)
-            reducer = make_reducer(self.reduction, self.context_bound)
+            reducer = make_reducer(reduction, self.context_bound)
             seen = {} if reducer is not None and reducer.sleep else set()
             try:
                 found = run_search(

@@ -297,6 +297,7 @@ def run_search(
     extend: Optional[Callable] = None,
     seen: Optional[Set] = None,
     reducer=None,
+    canon=None,
     sleep_seed: FrozenSet[Transition] = frozenset(),
     context_seed: Tuple[Optional[int], int] = (None, 0),
 ):
@@ -316,7 +317,21 @@ def run_search(
     state (the sharded backend resumes worker subtrees mid-path); with
     sleep sets on, ``seen`` must be (and defaults to) a dict mapping
     state key to its stored sleep set instead of a plain set.
+
+    A reducer with ``dpor`` set additionally requires ``canon`` (a
+    ``symmetry.CanonicalKeys``) and dispatches to the source-DPOR loop
+    in ``dpor.py``; its ``seen`` maps *canonical* keys to per-state
+    coverage entries and must be private to one search.
     """
+    if reducer is not None and reducer.dpor:
+        from .dpor import run_dpor
+
+        return run_dpor(
+            initial, visitor, limit=limit, stats=stats,
+            strict_deadlocks=strict_deadlocks, reducer=reducer,
+            canon=canon, payload=payload, extend=extend, seen=seen,
+            sleep_seed=sleep_seed, context_seed=context_seed,
+        )
     if reducer is not None:
         return _run_reduced(
             initial, visitor, limit=limit, stats=stats,

@@ -160,11 +160,15 @@ class Reducer:
 
     def __init__(self, reduction: str = "none",
                  context_bound: Optional[int] = None):
-        if reduction not in ("none", "sleep"):
+        if reduction not in ("none", "sleep", "dpor"):
             raise ValueError(
-                f"unknown reduction {reduction!r} (choose none or sleep)"
+                f"unknown reduction {reduction!r} "
+                "(choose none, sleep or dpor)"
             )
-        self.sleep = reduction == "sleep"
+        # dpor layers source sets on top of the sleep-set machinery, so
+        # both flags hold for it; the drivers dispatch on ``dpor`` first.
+        self.sleep = reduction in ("sleep", "dpor")
+        self.dpor = reduction == "dpor"
         self.context_bound = context_bound
         #: Set when any pruning was *lossy* (a context-bound cut): the
         #: outcome set is then a sound under-approximation, not the

@@ -32,6 +32,7 @@ from .core import (
     extend_trace,
     run_search,
 )
+from .dpor import prepare_dpor
 from .reduction import make_reducer
 from ..system import SystemState
 
@@ -42,6 +43,10 @@ class SequentialDFS(SearchStrategy):
 
     reduction: str = "none"
     context_bound: Optional[int] = None
+    #: With ``reduction="dpor"``: also canonicalise state keys modulo
+    #: detected thread symmetry (sorted orbit representatives).  Ignored
+    #: by the other reductions, whose seen keys must stay exact.
+    symmetry: bool = False
 
     name = "sequential"
 
@@ -54,14 +59,23 @@ class SequentialDFS(SearchStrategy):
     ) -> ExplorationResult:
         limit = self.resolve_limit(initial, max_states)
         stats = ExplorationStats()
-        visitor = CollectOutcomes(tuple(memory_cells), collect_deadlocks)
         reducer = make_reducer(self.reduction, self.context_bound)
-        seen = {} if reducer is not None and reducer.sleep else set()
+        if reducer is not None and reducer.dpor:
+            canon, search_cells, finish = prepare_dpor(
+                initial, self.symmetry, memory_cells, collect_deadlocks
+            )
+            seen = {}
+        else:
+            canon, finish = None, None
+            search_cells = tuple(memory_cells)
+            seen = {} if reducer is not None and reducer.sleep else set()
+        visitor = CollectOutcomes(search_cells, collect_deadlocks)
         started = time.perf_counter()
         try:
             run_search(
                 initial, visitor, limit=limit, stats=stats,
                 strict_deadlocks=True, seen=seen, reducer=reducer,
+                canon=canon,
             )
         finally:
             # Also on ExplorationLimit: the exception carries this same
@@ -71,7 +85,7 @@ class SequentialDFS(SearchStrategy):
             stats.seconds = time.perf_counter() - started
             stats.unique_states = len(seen)
         return ExplorationResult(
-            visitor.outcomes,
+            visitor.outcomes if finish is None else finish(visitor.outcomes),
             stats,
             visitor.deadlock_states,
             complete=reducer is None or not reducer.truncated,
@@ -87,7 +101,12 @@ class SequentialDFS(SearchStrategy):
         limit = self.resolve_limit(initial, max_states)
         stats = ExplorationStats()
         visitor = StopOnWitness(predicate, tuple(memory_cells))
-        reducer = make_reducer(self.reduction, self.context_bound)
+        # Witness traces must be concrete executions; the dpor driver's
+        # canonical merging would hand back traces over orbit
+        # representatives, so witness searches run the (equally sound,
+        # envelope-preserving) sleep-set layer instead.
+        reduction = "sleep" if self.reduction == "dpor" else self.reduction
+        reducer = make_reducer(reduction, self.context_bound)
         seen = {} if reducer is not None and reducer.sleep else set()
         started = time.perf_counter()
         try:

@@ -56,6 +56,12 @@ never need to be picklable.  When sharding is impossible -- one job,
 no ``fork`` start method, already inside a daemonic pool worker, or
 deadlock-state collection requested -- the strategy degrades to
 ``SequentialDFS`` (with the same reduction options).
+
+``reduction="dpor"`` is accepted but the sharded pipeline itself runs
+it as sleep sets (see ``ShardedParallel._shard_reduction`` for why the
+mutable whole-search dpor state cannot be partitioned across one-shot
+fork workers); only the sequential degradation path runs true
+source-DPOR with symmetry canonicalisation.
 """
 
 from __future__ import annotations
@@ -244,10 +250,28 @@ class ShardedParallel(SearchStrategy):
     shard_depth: int = 3
     reduction: str = "none"
     context_bound: Optional[int] = None
+    #: With ``reduction="dpor"``: honoured only on the degradation path
+    #: (see ``_shard_reduction``); the sharded pipeline itself runs
+    #: sleep sets.
+    symmetry: bool = False
 
     name = "sharded"
 
     # -- plumbing ---------------------------------------------------------
+
+    def _shard_reduction(self) -> str:
+        """The reduction the *sharded* pipeline actually runs.
+
+        ``dpor`` normalises to ``sleep`` here: source-DPOR backtrack
+        sets and the canonical seen map are mutable whole-search state
+        that workers would have to share and merge mid-flight, which the
+        fork-and-report pipeline (one-shot result pipes, no cross-worker
+        channel) cannot express.  Sleep sets are the sound projection
+        that *does* partition -- each root carries its own frozen sleep
+        seed.  The ``_sequential`` degradation path is not affected: it
+        runs full dpor (and symmetry) in one process.
+        """
+        return "sleep" if self.reduction == "dpor" else self.reduction
 
     def effective_jobs(self) -> int:
         """The worker count a search would actually use (public: the
@@ -272,7 +296,9 @@ class ShardedParallel(SearchStrategy):
     def _sequential(self) -> SequentialDFS:
         """The degradation target, carrying the same reduction options."""
         return SequentialDFS(
-            reduction=self.reduction, context_bound=self.context_bound
+            reduction=self.reduction,
+            context_bound=self.context_bound,
+            symmetry=self.symmetry,
         )
 
     def _expand(
@@ -460,7 +486,7 @@ class ShardedParallel(SearchStrategy):
         bundles = self._partition(roots, self.effective_jobs())
         _SHARD_CONTEXT = (
             roots, seen, cells, limit, predicate,
-            (self.reduction, self.context_bound),
+            (self._shard_reduction(), self.context_bound),
         )
         workers = []
         try:
@@ -496,7 +522,7 @@ class ShardedParallel(SearchStrategy):
         cells = tuple(memory_cells)
         stats = ExplorationStats()
         visitor = CollectOutcomes(cells)
-        reducer = make_reducer(self.reduction, self.context_bound)
+        reducer = make_reducer(self._shard_reduction(), self.context_bound)
         seen = None
         started = time.perf_counter()
         try:
@@ -585,7 +611,7 @@ class ShardedParallel(SearchStrategy):
         cells = tuple(memory_cells)
         stats = ExplorationStats()
         visitor = StopOnWitness(predicate, cells)
-        reducer = make_reducer(self.reduction, self.context_bound)
+        reducer = make_reducer(self._shard_reduction(), self.context_bound)
         seen = None
         started = time.perf_counter()
         try:

@@ -172,6 +172,7 @@ def run_litmus(
     strategy=None,
     reduction: str = "none",
     context_bound: Optional[int] = None,
+    symmetry: bool = False,
 ) -> LitmusResult:
     """Exhaustively run one litmus test and evaluate its condition.
 
@@ -182,7 +183,9 @@ def run_litmus(
     partial-order reduction options to whichever backend runs
     (``reduction="sleep"`` preserves the outcome envelope; a context
     bound may truncate it, reported through ``exploration.complete`` /
-    the ``StateLimit`` status).
+    the ``StateLimit`` status; ``reduction="dpor"`` layers source sets
+    and canonical state keys on top, with ``symmetry=True`` also folding
+    permutation-equivalent threads into orbit representatives).
     """
     model = model if model is not None else default_model()
     system, addresses = build_system(test, model, params)
@@ -194,7 +197,8 @@ def run_litmus(
         for var in sorted(set(condition_locations(test.condition)))
     ]
     engine = build_strategy(
-        strategy, reduction=reduction, context_bound=context_bound
+        strategy, reduction=reduction, context_bound=context_bound,
+        symmetry=symmetry,
     )
     result = engine.explore(
         system, memory_cells=cells, max_states=max_states
@@ -233,6 +237,7 @@ def run_corpus(
     strategy=None,
     reduction: str = "none",
     context_bound: Optional[int] = None,
+    symmetry: bool = False,
 ):
     """Exhaustively run a corpus of litmus tests across worker processes.
 
@@ -265,6 +270,7 @@ def run_corpus(
         params=params,
         max_states=max_states,
         strategy=build_strategy(
-            strategy, reduction=reduction, context_bound=context_bound
+            strategy, reduction=reduction, context_bound=context_bound,
+            symmetry=symmetry,
         ),
     )

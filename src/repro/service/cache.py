@@ -49,7 +49,9 @@ from typing import Any, Dict, Optional
 from ..concurrency.params import DEFAULT_PARAMS, ModelParams
 
 #: Bump when exploration semantics change (see SERVICE.md for the rules).
-SCHEMA_VERSION = 1
+#: 2: ``reduction="dpor"`` and the ``symmetry`` key field landed, and the
+#: unique-state accounting changed meaning under dpor (canonical keys).
+SCHEMA_VERSION = 2
 
 
 def cache_key(
@@ -57,6 +59,7 @@ def cache_key(
     strategy: str = "sequential",
     reduction: str = "none",
     context_bound: Optional[int] = None,
+    symmetry: bool = False,
     max_states: Optional[int] = None,
     sail_backend: str = "compiled",
     params: ModelParams = DEFAULT_PARAMS,
@@ -68,6 +71,7 @@ def cache_key(
         "strategy": strategy,
         "reduction": reduction,
         "context_bound": context_bound,
+        "symmetry": symmetry,
         "max_states": max_states,
         "sail_backend": sail_backend,
         "params": asdict(params),

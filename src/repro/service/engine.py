@@ -47,6 +47,7 @@ REQUEST_OPTION_FIELDS = (
     "shard_depth",
     "reduction",
     "context_bound",
+    "symmetry",
     "max_states",
 )
 
@@ -68,6 +69,7 @@ class EngineRequest:
     shard_depth: Optional[int] = None
     reduction: str = "none"
     context_bound: Optional[int] = None
+    symmetry: bool = False
     max_states: Optional[int] = None
 
     @classmethod
@@ -261,12 +263,14 @@ class EnvelopeEngine:
             shard_depth=request.shard_depth,
             reduction=request.reduction,
             context_bound=request.context_bound,
+            symmetry=request.symmetry,
         )
         key = cache_key(
             canonical,
             strategy=strategy.name,
             reduction=strategy.reduction,
             context_bound=strategy.context_bound,
+            symmetry=getattr(strategy, "symmetry", False),
             max_states=request.max_states,
             sail_backend=self.sail_backend,
             params=self.params,

@@ -345,6 +345,7 @@ def check_suite(
     strategy=None,
     reduction: str = "none",
     context_bound: Optional[int] = None,
+    symmetry: bool = False,
     engine=None,
 ) -> OracleReport:
     """Run a generated suite and check every envelope invariant.
@@ -360,7 +361,9 @@ def check_suite(
     not failures).  ``reduction="sleep"`` prunes commuting interleavings
     while preserving every verdict; ``context_bound`` trades
     completeness for speed (truncated tests degrade to "StateLimit"
-    skips like budget exhaustion does).
+    skips like budget exhaustion does).  ``reduction="dpor"`` layers
+    source sets and canonical state keys on top of sleep sets;
+    ``symmetry=True`` additionally folds permutation-equivalent threads.
     """
     from ..service.engine import EngineRequest, EnvelopeEngine
 
@@ -373,6 +376,7 @@ def check_suite(
             strategy=strategy,
             reduction=reduction,
             context_bound=context_bound,
+            symmetry=symmetry,
             max_states=max_states,
         )
         for test in tests

@@ -20,8 +20,10 @@ The oracle verbs are thin clients of the shared service engine
 ``--shard-depth``) to pick the search backend; ``sharded`` forks a
 single test's frontier across worker processes (``run --jobs N``, or
 ``litmus FILE --jobs N`` with one file).  All four also take
-``--reduction sleep`` (verdict-preserving sleep-set partial-order
-reduction), ``--context-bound N`` (sound under-approximation) and
+``--reduction {sleep,dpor}`` (verdict-preserving partial-order
+reduction; ``dpor`` layers source sets and canonical state keys on top
+of sleep sets, with ``--symmetry`` also folding permutation-equivalent
+threads), ``--context-bound N`` (sound under-approximation) and
 ``--cache PATH`` (persistent verdict cache: repeated queries are
 answered in microseconds).
 
@@ -71,11 +73,12 @@ def _add_strategy_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--reduction",
-        choices=("none", "sleep"),
+        choices=("none", "sleep", "dpor"),
         default="none",
         help="partial-order reduction: 'sleep' prunes commuting "
-        "interleavings with sleep sets, preserving every verdict "
-        "(default none)",
+        "interleavings with sleep sets; 'dpor' adds source-DPOR race "
+        "scheduling and canonical state keys on top -- both preserve "
+        "every verdict (default none)",
     )
     parser.add_argument(
         "--context-bound",
@@ -84,6 +87,13 @@ def _add_strategy_args(parser: argparse.ArgumentParser) -> None:
         help="cut paths with more than N context switches; the result "
         "becomes a sound under-approximation (StateLimit on "
         "universal claims)",
+    )
+    parser.add_argument(
+        "--symmetry",
+        action="store_true",
+        help="with --reduction dpor: also canonicalise states modulo "
+        "detected thread symmetry (orbit representatives); ignored "
+        "by the other reductions",
     )
 
 
@@ -101,6 +111,7 @@ def _strategy_from(args):
         shard_depth=args.shard_depth,
         reduction=args.reduction,
         context_bound=args.context_bound,
+        symmetry=args.symmetry,
     )
 
 
@@ -550,6 +561,8 @@ def _client_options(args) -> dict:
         options["reduction"] = args.reduction
     if args.context_bound is not None:
         options["context_bound"] = args.context_bound
+    if args.symmetry:
+        options["symmetry"] = True
     if getattr(args, "max_states", None) is not None:
         options["max_states"] = args.max_states
     return options

@@ -463,6 +463,145 @@ class TestReductionEquivalence:
         assert 0 < stats.unique_states <= stats.states_visited
 
 
+class TestDporEquivalence:
+    """Source-DPOR preserves the verdict and the outcome set.
+
+    ``reduction="dpor"`` must answer every oracle question identically
+    to the unreduced reference on the curated corpus and a seed-0
+    generated sample, for both backends that run the real driver
+    (``SequentialDFS`` and ``BoundedIterative``).  ``ShardedParallel``
+    accepts the option but runs its forked pipeline as sleep sets
+    (see ``ShardedParallel._shard_reduction``), so it is checked for
+    acceptance + equivalence, not for dpor state counts.
+    """
+
+    @pytest.mark.parametrize("name", FAST_NAMES)
+    def test_fast_entries_sequential(self, model, name):
+        test = by_name(name).parse()
+        reference = run_litmus(test, model)
+        reduced = run_litmus(test, model, reduction="dpor")
+        assert reduced.exploration.complete, name
+        assert reduced.status == reference.status, name
+        assert reduced.outcomes == reference.outcomes, name
+        assert reduced.witnessed == reference.witnessed, name
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [None, BoundedIterative(), ShardedParallel(jobs=2, shard_depth=3)],
+        ids=lambda s: "sequential" if s is None else s.name,
+    )
+    def test_strategy_matrix(self, model, strategy):
+        for name in ("MP", "SB+syncs", "R"):
+            test = by_name(name).parse()
+            reference = run_litmus(test, model)
+            reduced = run_litmus(
+                test, model, strategy=strategy, reduction="dpor"
+            )
+            label = f"{name} dpor via {strategy}"
+            assert reduced.exploration.complete, label
+            assert reduced.status == reference.status, label
+            assert reduced.outcomes == reference.outcomes, label
+
+    def test_gen_seed0_sample(self, model):
+        from repro.litmus import diy
+
+        for generated in diy.generate(0, 8, max_threads=2):
+            reference = run_litmus(generated.test, model)
+            reduced = run_litmus(generated.test, model, reduction="dpor")
+            label = generated.name
+            assert reduced.status == reference.status, label
+            assert reduced.outcomes == reference.outcomes, label
+
+    @pytest.mark.parametrize("name", ["ATOM-base", "ATOM-intervene"])
+    def test_atomics_disabled_sibling_regression(self, model, name):
+        """Store-conditional branches disable each other; taking one
+        makes the sibling never *occur* below, so an occurrence-based
+        race scan alone would drop the other resolution's outcomes
+        (ATOM-base lost its success final before the disabled-sibling
+        repair in ``run_dpor``).  Pin both resolutions survive."""
+        test = by_name(name).parse()
+        reference = run_litmus(test, model)
+        reduced = run_litmus(test, model, reduction="dpor")
+        assert reduced.exploration.complete, name
+        assert reduced.outcomes == reference.outcomes, name
+        assert reduced.status == reference.status, name
+
+    def test_dpor_visits_no_more_states_than_sleep(self, model):
+        test = by_name("SB+syncs").parse()
+        sleep = run_litmus(test, model, reduction="sleep")
+        dpor = run_litmus(test, model, reduction="dpor")
+        assert (
+            dpor.exploration.stats.states_visited
+            < sleep.exploration.stats.states_visited
+        )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", SLOW_SAMPLE)
+    def test_slow_sample_entries(self, model, name):
+        test = by_name(name).parse()
+        reference = run_litmus(test, model)
+        reduced = run_litmus(test, model, reduction="dpor")
+        assert reduced.status == reference.status, name
+        assert reduced.outcomes == reference.outcomes, name
+
+
+class TestSymmetryCanonicalisation:
+    """Thread-symmetry canonicalisation must not change any answer.
+
+    The canonicaliser maps each state key to a sorted orbit
+    representative under the permutation group of identical threads;
+    on asymmetric tests the group is trivial and the run must stay
+    bit-identical, on permutation-rich generated shapes the outcome
+    sets must still match exactly (soundness: the quotient merges only
+    genuinely equivalent states).
+    """
+
+    @pytest.mark.parametrize("reduction", ["sleep", "dpor"])
+    def test_corpus_outcomes_identical_with_and_without(
+        self, model, reduction
+    ):
+        for name in ("MP", "SB", "SB+syncs", "ATOM-base"):
+            test = by_name(name).parse()
+            plain = run_litmus(test, model, reduction=reduction)
+            canon = run_litmus(
+                test, model, reduction=reduction, symmetry=True
+            )
+            label = f"{name} {reduction}+symmetry"
+            assert canon.exploration.complete, label
+            assert canon.status == plain.status, label
+            assert canon.outcomes == plain.outcomes, label
+
+    def test_generated_3thread_outcomes_identical(self, model):
+        """3-thread generated shapes are where permutation-equivalent
+        threads actually appear; the quotient must preserve the full
+        outcome set there, not just the verdict."""
+        from repro.litmus import diy
+
+        for generated in diy.generate(0, 4, max_threads=3):
+            plain = run_litmus(generated.test, model, reduction="dpor")
+            canon = run_litmus(
+                generated.test, model, reduction="dpor", symmetry=True
+            )
+            label = generated.name
+            assert canon.status == plain.status, label
+            assert canon.outcomes == plain.outcomes, label
+
+    def test_symmetry_never_inflates_unique_states(self, model):
+        test = by_name("SB+syncs").parse()
+        plain = run_litmus(test, model, reduction="dpor")
+        canon = run_litmus(test, model, reduction="dpor", symmetry=True)
+        assert (
+            canon.exploration.stats.unique_states
+            <= plain.exploration.stats.unique_states
+        )
+
+    def test_make_strategy_carries_symmetry(self):
+        strategy = make_strategy("sequential", symmetry=True)
+        assert strategy == SequentialDFS(symmetry=True)
+        bounded = make_strategy("bounded", reduction="dpor", symmetry=True)
+        assert bounded.symmetry and bounded.reduction == "dpor"
+
+
 class TestContextBound:
     def test_context_bound_flags_partial(self, model):
         test = by_name("SB+syncs").parse()
@@ -549,6 +688,15 @@ class TestCliStrategyFlags:
 
         path = self._write(tmp_path, "MP")
         assert main(["run", path, "--reduction", "sleep"]) == 0
+        assert "Test MP: Allowed" in capsys.readouterr().out
+
+    def test_run_command_with_dpor_and_symmetry(self, tmp_path, capsys):
+        from repro.tools.cli import main
+
+        path = self._write(tmp_path, "MP")
+        assert main(
+            ["run", path, "--reduction", "dpor", "--symmetry"]
+        ) == 0
         assert "Test MP: Allowed" in capsys.readouterr().out
 
     def test_gen_check_accepts_strategy(self, capsys):
